@@ -1,0 +1,43 @@
+// Figure 7 — Recall vs quantum size (delta) for several EC thresholds
+// (gamma) on the Time-Window (TW) trace.
+//
+// Paper shape: recall increases with delta (larger quanta make near-
+// threshold keywords bursty) and decreases with gamma (stricter edges).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace scprt;
+  bench::PrintHeader("Figure 7: Recall, Time-Window trace");
+
+  const stream::SyntheticTrace trace =
+      stream::GenerateSyntheticTrace(stream::TimeWindowPreset(42));
+  std::printf("trace: %zu messages, %zu real events, %zu spurious\n\n",
+              trace.messages.size(), trace.script.real_event_count(),
+              trace.script.events.size() - trace.script.real_event_count());
+
+  const std::size_t deltas[] = {80, 120, 160, 200, 240};
+  const double gammas[] = {0.10, 0.15, 0.20, 0.25};
+
+  eval::AsciiTable table({"delta \\ gamma", "0.10", "0.15", "0.20", "0.25"});
+  for (std::size_t delta : deltas) {
+    std::vector<std::string> row = {std::to_string(delta)};
+    for (double gamma : gammas) {
+      detect::DetectorConfig config = bench::NominalConfig();
+      config.quantum_size = delta;
+      config.akg.ec_threshold = gamma;
+      const bench::RunResult result = bench::RunDetector(trace, config);
+      row.push_back(eval::AsciiTable::Num(result.metrics.recall, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape (paper Fig. 7): recall rises with delta, falls with "
+      "gamma.\n");
+  return 0;
+}

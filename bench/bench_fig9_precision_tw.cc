@@ -1,0 +1,41 @@
+// Figure 9 — Precision vs quantum size (delta) for several EC thresholds
+// (gamma) on the Time-Window (TW) trace.
+//
+// Paper shape: precision improves (mildly) with delta; spurious clusters
+// appear in bursts regardless of tuning, so the effect is weaker than for
+// recall.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace scprt;
+  bench::PrintHeader("Figure 9: Precision, Time-Window trace");
+
+  const stream::SyntheticTrace trace =
+      stream::GenerateSyntheticTrace(stream::TimeWindowPreset(42));
+
+  const std::size_t deltas[] = {80, 120, 160, 200, 240};
+  const double gammas[] = {0.10, 0.15, 0.20, 0.25};
+
+  eval::AsciiTable table({"delta \\ gamma", "0.10", "0.15", "0.20", "0.25"});
+  for (std::size_t delta : deltas) {
+    std::vector<std::string> row = {std::to_string(delta)};
+    for (double gamma : gammas) {
+      detect::DetectorConfig config = bench::NominalConfig();
+      config.quantum_size = delta;
+      config.akg.ec_threshold = gamma;
+      const bench::RunResult result = bench::RunDetector(trace, config);
+      row.push_back(eval::AsciiTable::Num(result.metrics.precision, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape (paper Fig. 9): precision roughly flat-to-rising "
+      "with delta.\n");
+  return 0;
+}

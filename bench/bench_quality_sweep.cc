@@ -1,0 +1,53 @@
+// Section 7.2.4 — Quality of discovered events across parameter settings:
+// average cluster size and average rank as delta grows and gamma shrinks.
+//
+// Paper shape: avg cluster size stable (~6.2-6.9) except at gamma = 0.1
+// where it jumps ~50%; avg rank decreases by 20-30% under the most relaxed
+// settings (the extra events found are weak ones).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace scprt;
+  bench::PrintHeader("Section 7.2.4: Event quality across parameters");
+
+  const stream::SyntheticTrace tw =
+      stream::GenerateSyntheticTrace(stream::TimeWindowPreset(42));
+  const stream::SyntheticTrace es =
+      stream::GenerateSyntheticTrace(stream::EventSpecificPreset(43));
+
+  const std::pair<const char*, const stream::SyntheticTrace*> traces[] = {
+      {"TW", &tw},
+      {"ES", &es},
+  };
+  const std::size_t deltas[] = {80, 160, 240};
+  const double gammas[] = {0.10, 0.20, 0.25};
+
+  eval::AsciiTable table({"trace", "delta", "gamma", "avg cluster size",
+                          "avg rank", "precision", "recall"});
+  for (const auto& [name, trace] : traces) {
+    for (std::size_t delta : deltas) {
+      for (double gamma : gammas) {
+        detect::DetectorConfig config = bench::NominalConfig();
+        config.quantum_size = delta;
+        config.akg.ec_threshold = gamma;
+        const bench::RunResult r = bench::RunDetector(*trace, config);
+        table.AddRow({name, std::to_string(delta),
+                      eval::AsciiTable::Num(gamma, 2),
+                      eval::AsciiTable::Num(r.metrics.avg_cluster_size, 2),
+                      eval::AsciiTable::Num(r.metrics.avg_rank, 1),
+                      eval::AsciiTable::Num(r.metrics.precision, 3),
+                      eval::AsciiTable::Num(r.metrics.recall, 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape (paper Sec 7.2.4): cluster size stable except the "
+      "gamma=0.10 blow-up; avg rank drops with relaxed parameters.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scalability study (Section 7's headline claim: the detector processes
+// messages at about twice the 2012 Twitter ingest rate, ~2300 msg/s, on a
+// modest machine). We sweep the stress dimensions independently:
+//   * concurrent event load (events active at once),
+//   * vocabulary size (CKG breadth),
+//   * user population (id-set width),
+// and report throughput headroom over the 2012 Twitter rate.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/table.h"
+
+namespace {
+
+constexpr double kTwitter2012Rate = 2300.0;  // msgs/sec, paper's reference
+
+}  // namespace
+
+int main() {
+  using namespace scprt;
+  bench::PrintHeader("Scaling: throughput vs stream composition");
+
+  eval::AsciiTable table({"dimension", "setting", "msg/s",
+                          "headroom vs 2012 Twitter"});
+  auto run = [&](const char* dimension, const std::string& setting,
+                 const stream::SyntheticConfig& trace_config) {
+    const stream::SyntheticTrace trace =
+        stream::GenerateSyntheticTrace(trace_config);
+    const bench::RunResult result =
+        bench::RunDetector(trace, bench::NominalConfig());
+    const double rate = result.throughput.MessagesPerSecond();
+    table.AddRow({dimension, setting,
+                  eval::AsciiTable::Int(static_cast<std::uint64_t>(rate)),
+                  eval::AsciiTable::Num(rate / kTwitter2012Rate, 1) + "x"});
+  };
+
+  // Concurrent events.
+  for (std::size_t events : {5u, 20u, 60u}) {
+    stream::SyntheticConfig config = stream::TimeWindowPreset(7);
+    config.num_messages = 60'000;
+    config.num_events = events;
+    config.num_spurious = events / 5;
+    run("concurrent events", std::to_string(events), config);
+  }
+  // Vocabulary.
+  for (std::size_t vocab : {5'000u, 20'000u, 80'000u}) {
+    stream::SyntheticConfig config = stream::TimeWindowPreset(8);
+    config.num_messages = 60'000;
+    config.background_vocab = vocab;
+    run("background vocabulary", std::to_string(vocab), config);
+  }
+  // User population.
+  for (std::uint32_t users : {2'000u, 20'000u, 100'000u}) {
+    stream::SyntheticConfig config = stream::TimeWindowPreset(9);
+    config.num_messages = 60'000;
+    config.num_users = users;
+    run("user population", std::to_string(users), config);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: throughput degrades gracefully with event load and "
+      "is largely insensitive to vocabulary/user-population breadth (the "
+      "AKG shields the cluster layer); headroom stays well above 1x.\n");
+  return 0;
+}

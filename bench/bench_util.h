@@ -1,0 +1,58 @@
+// Shared helpers for the table/figure benchmark harnesses.
+
+#ifndef SCPRT_BENCH_BENCH_UTIL_H_
+#define SCPRT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "detect/detector.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/throughput.h"
+#include "stream/synthetic.h"
+
+namespace scprt::bench {
+
+/// Outcome of one detector run over a trace.
+struct RunResult {
+  eval::RunMetrics metrics;
+  eval::Throughput throughput;
+  std::vector<detect::QuantumReport> reports;
+};
+
+/// Runs the detector over `trace` with `config` and evaluates against the
+/// planted ground truth.
+inline RunResult RunDetector(const stream::SyntheticTrace& trace,
+                             const detect::DetectorConfig& config,
+                             bool keep_reports = false) {
+  detect::EventDetector detector(config, &trace.dictionary);
+  eval::Stopwatch watch;
+  std::vector<detect::QuantumReport> reports =
+      detector.Run(trace.messages);
+  RunResult result;
+  result.throughput.messages = trace.messages.size();
+  result.throughput.seconds = watch.ElapsedSeconds();
+  const eval::GroundTruthMatcher matcher(trace.script);
+  result.metrics = eval::EvaluateRun(reports, matcher, config.quantum_size);
+  if (keep_reports) result.reports = std::move(reports);
+  return result;
+}
+
+/// Nominal paper configuration (Table 2).
+inline detect::DetectorConfig NominalConfig() {
+  detect::DetectorConfig config;
+  config.quantum_size = 160;
+  config.akg.high_state_threshold = 4;
+  config.akg.ec_threshold = 0.20;
+  config.akg.window_length = 30;
+  return config;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace scprt::bench
+
+#endif  // SCPRT_BENCH_BENCH_UTIL_H_

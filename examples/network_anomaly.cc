@@ -1,0 +1,101 @@
+// Beyond microblogs: dense-cluster discovery on a dynamic IP-communication
+// graph (the paper's closing claim: "many web applications create data
+// which can be represented as massive dynamic graphs; our technique can be
+// easily extended").
+//
+// Here the cluster layer is used directly — no text pipeline. Hosts are
+// nodes; an edge appears while two hosts exchange enough flows in the
+// recent window. A botnet-style coordinated group forms a dense subgraph
+// that the SCP maintainer discovers and tracks incrementally while random
+// background flows churn the graph.
+//
+//   $ ./network_anomaly
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "cluster/maintenance.h"
+#include "common/random.h"
+#include "graph/graph.h"
+
+using namespace scprt;
+using graph::NodeId;
+
+int main() {
+  Rng rng(1701);
+  cluster::ScpMaintainer maintainer;
+
+  constexpr NodeId kHosts = 2000;
+  constexpr NodeId kBotnetBase = 5000;  // ids 5000..5007
+  constexpr int kBotnetSize = 8;
+  constexpr int kTicks = 60;
+
+  std::printf("simulating %d ticks of flow churn on %u hosts...\n\n", kTicks,
+              kHosts);
+  std::printf("%-5s %-9s %-9s %-10s %s\n", "tick", "edges", "clusters",
+              "largest", "botnet detected?");
+
+  // Rolling random background edges (added, later removed).
+  std::vector<graph::Edge> live_background;
+  for (int tick = 0; tick < kTicks; ++tick) {
+    maintainer.SetClock(tick);
+    // Background churn: 80 random flows in, the oldest 80 out.
+    for (int i = 0; i < 80; ++i) {
+      const NodeId a = static_cast<NodeId>(rng.UniformInt(kHosts));
+      const NodeId b = static_cast<NodeId>(rng.UniformInt(kHosts));
+      if (a == b) continue;
+      if (maintainer.AddEdge(a, b)) {
+        live_background.push_back(graph::Edge::Of(a, b));
+      }
+    }
+    while (live_background.size() > 400) {
+      const graph::Edge e = live_background.front();
+      live_background.erase(live_background.begin());
+      maintainer.RemoveEdge(e.u, e.v);
+    }
+
+    // From tick 20 to 40 the botnet coordinates: each bot talks to several
+    // peers (dense, short-cycle-rich subgraph).
+    if (tick == 20) {
+      for (int i = 0; i < kBotnetSize; ++i) {
+        for (int j = i + 1; j < kBotnetSize; ++j) {
+          if ((i + j) % 3 == 0) continue;  // not a full clique, ~2/3 dense
+          maintainer.AddEdge(kBotnetBase + static_cast<NodeId>(i),
+                             kBotnetBase + static_cast<NodeId>(j));
+        }
+      }
+    }
+    if (tick == 40) {
+      for (int i = 0; i < kBotnetSize; ++i) {
+        maintainer.RemoveNode(kBotnetBase + static_cast<NodeId>(i));
+      }
+    }
+
+    // Report.
+    std::size_t largest = 0;
+    bool botnet_found = false;
+    for (const auto& [id, cluster] : maintainer.clusters().clusters()) {
+      (void)id;
+      largest = std::max(largest, cluster->node_count());
+      std::size_t bots = 0;
+      for (const auto& [node, deg] : cluster->node_degrees()) {
+        (void)deg;
+        if (node >= kBotnetBase) ++bots;
+      }
+      if (bots >= 4) botnet_found = true;
+    }
+    if (tick % 4 == 0 || tick == 20 || tick == 40) {
+      std::printf("%-5d %-9zu %-9zu %-10zu %s\n", tick,
+                  maintainer.graph().edge_count(),
+                  maintainer.clusters().size(), largest,
+                  botnet_found ? "YES" : "-");
+    }
+  }
+
+  std::printf(
+      "\nnote: random background flows rarely form short cycles, so the "
+      "cluster list stays near-empty until the coordinated group appears; "
+      "it is discovered the tick it forms and dissolves the tick it "
+      "leaves.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// scprt_cli — command-line front end for the library:
+//
+//   scprt_cli gen <out.trace> [--preset tw|es] [--seed N] [--messages N]
+//       Generate a synthetic trace (with ground truth) to a file.
+//
+//   scprt_cli run <in.trace> [--delta N] [--gamma F] [--theta N] [--w N]
+//                 [--top N] [--stories] [--suppress-spurious]
+//       Run the detector over a saved trace, print the event feed and the
+//       final precision/recall against the trace's ground truth.
+//
+//   scprt_cli info <in.trace>
+//       Print trace statistics (messages, vocabulary, planted events).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/postprocess.h"
+#include "detect/report.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "stream/synthetic.h"
+#include "stream/trace.h"
+
+using namespace scprt;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  scprt_cli gen <out.trace> [--preset tw|es] [--seed N] "
+               "[--messages N]\n"
+               "  scprt_cli run <in.trace> [--delta N] [--gamma F] "
+               "[--theta N] [--w N] [--top N] [--stories] "
+               "[--suppress-spurious]\n"
+               "  scprt_cli info <in.trace>\n");
+  return 2;
+}
+
+// Tiny flag parser: --name value (or boolean --name).
+struct Args {
+  std::vector<std::string> positional;
+  std::unordered_map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? dflt : it->second;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.flags[name] = argv[++i];
+      } else {
+        args.flags[name] = "1";
+      }
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+int CmdGen(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const std::uint64_t seed = std::stoull(args.Get("seed", "42"));
+  stream::SyntheticConfig config = args.Get("preset", "tw") == "es"
+                                       ? stream::EventSpecificPreset(seed)
+                                       : stream::TimeWindowPreset(seed);
+  if (args.Has("messages")) {
+    config.num_messages = std::stoull(args.Get("messages", "0"));
+  }
+  const stream::SyntheticTrace trace = GenerateSyntheticTrace(config);
+  if (!stream::WriteTraceFile(trace, args.positional[1])) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  std::printf("wrote %zu messages, %zu keywords, %zu planted events -> %s\n",
+              trace.messages.size(), trace.dictionary.size(),
+              trace.script.events.size(), args.positional[1].c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  stream::SyntheticTrace trace;
+  if (!stream::ReadTraceFile(args.positional[1], trace)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  std::printf("messages:   %zu\n", trace.messages.size());
+  std::printf("keywords:   %zu\n", trace.dictionary.size());
+  std::printf("events:     %zu (%zu real, %zu spurious)\n",
+              trace.script.events.size(), trace.script.real_event_count(),
+              trace.script.events.size() - trace.script.real_event_count());
+  for (const auto& e : trace.script.events) {
+    std::printf("  [%2d]%s %-28s start=%llu dur=%llu peak=%.3f kws=%zu\n",
+                e.id, e.spurious ? " (spurious)" : "          ",
+                e.headline.c_str(),
+                static_cast<unsigned long long>(e.start_seq),
+                static_cast<unsigned long long>(e.duration), e.peak_share,
+                e.keywords.size());
+  }
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  stream::SyntheticTrace trace;
+  if (!stream::ReadTraceFile(args.positional[1], trace)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  detect::DetectorConfig config;
+  config.quantum_size = std::stoul(args.Get("delta", "160"));
+  config.akg.ec_threshold = std::stod(args.Get("gamma", "0.20"));
+  config.akg.high_state_threshold =
+      static_cast<std::uint32_t>(std::stoul(args.Get("theta", "4")));
+  config.akg.window_length = std::stoul(args.Get("w", "30"));
+  const std::size_t top = std::stoul(args.Get("top", "3"));
+  const bool stories = args.Has("stories");
+  const bool suppress = args.Has("suppress-spurious");
+
+  detect::EventDetector detector(config, &trace.dictionary);
+  detect::SpuriousSuppressor suppressor(3);
+  std::vector<detect::QuantumReport> reports;
+  for (const stream::Message& m : trace.messages) {
+    auto report = detector.Push(m);
+    if (!report) continue;
+    std::vector<detect::EventSnapshot> feed = report->events;
+    if (suppress) {
+      std::vector<detect::EventSnapshot> kept;
+      for (std::size_t i : suppressor.Filter(feed)) {
+        kept.push_back(feed[i]);
+      }
+      feed = std::move(kept);
+    }
+    bool printed_header = false;
+    auto header = [&] {
+      if (!printed_header) {
+        std::printf("-- quantum %lld --\n",
+                    static_cast<long long>(report->quantum));
+        printed_header = true;
+      }
+    };
+    if (stories) {
+      const auto grouped = detect::CorrelateEvents(feed);
+      std::size_t shown = 0;
+      for (const auto& story : grouped) {
+        if (shown++ >= top) break;
+        bool any_new = false;
+        for (std::size_t i : story.members) {
+          any_new |= feed[i].newly_reported;
+        }
+        if (!any_new) continue;
+        header();
+        std::printf(" story (rank %.1f):\n", story.rank);
+        for (std::size_t i : story.members) {
+          std::printf("   %s\n",
+                      FormatEvent(feed[i], trace.dictionary).c_str());
+        }
+      }
+    } else {
+      std::size_t shown = 0;
+      for (const auto& snap : feed) {
+        if (!snap.newly_reported || shown++ >= top) continue;
+        header();
+        std::printf("  %s\n", FormatEvent(snap, trace.dictionary).c_str());
+      }
+    }
+    reports.push_back(*std::move(report));
+  }
+
+  const eval::GroundTruthMatcher matcher(trace.script);
+  const eval::RunMetrics m =
+      eval::EvaluateRun(reports, matcher, config.quantum_size);
+  std::printf(
+      "\nsummary: precision %.3f  recall %.3f  f1 %.3f  (%zu reports, "
+      "%zu/%zu events)\n",
+      m.precision, m.recall, m.f1, m.clusters_reported, m.events_discovered,
+      m.events_planted);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.positional.empty()) return Usage();
+  const std::string& cmd = args.positional[0];
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "run") return CmdRun(args);
+  if (cmd == "info") return CmdInfo(args);
+  return Usage();
+}

@@ -1,0 +1,99 @@
+// Story feed with crash recovery: the highest-level consumer API.
+//
+// Runs the detector wrapped in an EventFeed (spurious suppression + story
+// grouping + exactly-once delivery), then simulates a crash halfway through
+// the stream, restores from a checkpoint, and shows that the feed picks up
+// without flooding duplicates.
+//
+//   $ ./story_feed
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "detect/checkpoint.h"
+#include "detect/detector.h"
+#include "detect/feed.h"
+#include "stream/synthetic.h"
+
+using namespace scprt;
+
+namespace {
+
+std::string Words(const detect::EventSnapshot& snap,
+                  const text::KeywordDictionary& dictionary) {
+  std::string out;
+  for (KeywordId k : snap.keywords) {
+    if (!out.empty()) out += ' ';
+    out += dictionary.Spelling(k);
+  }
+  return out;
+}
+
+void Deliver(const std::vector<detect::FeedItem>& items,
+             const text::KeywordDictionary& dictionary, const char* phase) {
+  for (const detect::FeedItem& item : items) {
+    std::printf("[%s | q %4lld | rank %7.1f] %s\n", phase,
+                static_cast<long long>(item.quantum), item.lead.rank,
+                Words(item.lead, dictionary).c_str());
+    for (const auto& related : item.related) {
+      std::printf("    + related: %s\n",
+                  Words(related, dictionary).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  stream::SyntheticConfig trace_config = stream::TimeWindowPreset(90210);
+  trace_config.num_messages = 50'000;
+  trace_config.num_events = 8;
+  trace_config.num_spurious = 2;
+  const stream::SyntheticTrace trace =
+      stream::GenerateSyntheticTrace(trace_config);
+
+  detect::DetectorConfig config;
+  config.quantum_size = 160;
+  detect::EventDetector detector(config, &trace.dictionary);
+  detect::EventFeed feed;
+
+  const std::size_t crash_at = trace.messages.size() / 2;
+  std::printf("--- phase 1: streaming %zu messages ---\n", crash_at);
+  for (std::size_t i = 0; i < crash_at; ++i) {
+    if (auto report = detector.Push(trace.messages[i])) {
+      Deliver(feed.Consume(*report), trace.dictionary, "live");
+    }
+  }
+
+  // Simulated crash: persist, drop everything, restore. The EventFeed's
+  // dedupe memory absorbs the re-announcements the replay produces.
+  std::printf("\n--- crash! checkpointing and restoring ---\n");
+  std::stringstream checkpoint;
+  if (!detect::SaveCheckpoint(detector, checkpoint)) {
+    std::fprintf(stderr, "checkpoint failed\n");
+    return 1;
+  }
+  std::printf("checkpoint size: %zu bytes (%zu window quanta + %zu pending "
+              "messages)\n",
+              checkpoint.str().size(), detector.window().size(),
+              detector.pending_messages().size());
+  auto restored = detect::LoadCheckpoint(checkpoint, &trace.dictionary);
+  if (restored == nullptr) {
+    std::fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+
+  std::printf("\n--- phase 2: streaming the remaining %zu messages ---\n",
+              trace.messages.size() - crash_at);
+  for (std::size_t i = crash_at; i < trace.messages.size(); ++i) {
+    if (auto report = restored->Push(trace.messages[i])) {
+      Deliver(feed.Consume(*report), trace.dictionary, "rcvd");
+    }
+  }
+
+  std::printf("\ndelivered %llu stories total, %zu spurious suppressed\n",
+              static_cast<unsigned long long>(feed.delivered_count()),
+              feed.suppressed_count());
+  return 0;
+}

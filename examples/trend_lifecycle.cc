@@ -1,0 +1,96 @@
+// Trend lifecycle study: follows one planted event through its whole life —
+// birth, keyword evolution, rank build-up, wind-down, and expiry — printing
+// a per-quantum timeline. Demonstrates the rank tracker's spuriousness
+// signal on a planted ad burst for contrast.
+//
+//   $ ./trend_lifecycle
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "detect/detector.h"
+#include "eval/ground_truth.h"
+#include "stream/synthetic.h"
+
+using namespace scprt;
+
+namespace {
+
+// Render a tiny bar chart for the rank.
+std::string Bar(double value, double max_value) {
+  const int width =
+      max_value > 0
+          ? std::clamp(static_cast<int>(40.0 * value / max_value), 0, 40)
+          : 0;
+  return std::string(static_cast<std::size_t>(width), '#');
+}
+
+}  // namespace
+
+int main() {
+  stream::SyntheticConfig trace_config = stream::TimeWindowPreset(31337);
+  trace_config.num_messages = 50'000;
+  trace_config.num_events = 4;
+  trace_config.num_spurious = 1;
+  trace_config.peak_share_min = 0.05;  // strong events for a clean story
+  trace_config.peak_share_max = 0.09;
+  const stream::SyntheticTrace trace =
+      stream::GenerateSyntheticTrace(trace_config);
+
+  detect::DetectorConfig config;
+  config.quantum_size = 160;
+  detect::EventDetector detector(config, &trace.dictionary);
+  const eval::GroundTruthMatcher matcher(trace.script);
+
+  // Follow the first real event and the spurious burst.
+  const stream::PlantedEvent* hero = &trace.script.events.front();
+  const stream::PlantedEvent* ad = nullptr;
+  for (const auto& e : trace.script.events) {
+    if (e.spurious) ad = &e;
+  }
+  std::printf("hero event: \"%s\" (starts at message %llu, %llu long)\n",
+              hero->headline.c_str(),
+              static_cast<unsigned long long>(hero->start_seq),
+              static_cast<unsigned long long>(hero->duration));
+  if (ad != nullptr) {
+    std::printf("ad burst:   \"%s\" (starts at message %llu)\n\n",
+                ad->headline.c_str(),
+                static_cast<unsigned long long>(ad->start_seq));
+  }
+
+  double max_rank = 1.0;
+  std::printf("%-6s %-7s %-5s %-9s %s\n", "quant", "rank", "n", "spur?",
+              "keywords / rank bar");
+  for (const stream::Message& message : trace.messages) {
+    auto report = detector.Push(message);
+    if (!report) continue;
+    for (const detect::EventSnapshot& snap : report->events) {
+      const eval::ClusterVerdict verdict = matcher.Classify(snap.keywords);
+      const bool is_hero = verdict.event_id == hero->id;
+      const bool is_ad = ad != nullptr && verdict.event_id == ad->id;
+      if (!is_hero && !is_ad) continue;
+      max_rank = std::max(max_rank, snap.rank);
+      if (report->quantum % 5 != 0 && !snap.newly_reported) {
+        continue;  // sample the timeline every 5 quanta
+      }
+      std::string words;
+      for (KeywordId k : snap.keywords) {
+        if (!words.empty()) words += ' ';
+        words += trace.dictionary.Spelling(k);
+      }
+      if (words.size() > 48) words = words.substr(0, 45) + "...";
+      std::printf("%-6lld %-7.1f %-5zu %-9s %s %s%s\n",
+                  static_cast<long long>(report->quantum), snap.rank,
+                  snap.node_count,
+                  snap.likely_spurious ? "yes" : "no", words.c_str(),
+                  Bar(snap.rank, max_rank).c_str(),
+                  snap.newly_reported ? "  <-- FIRST REPORT" : "");
+    }
+  }
+  std::printf(
+      "\nnote: the hero event's cluster grows (late keyword joins) and its "
+      "rank rides the build-up/wind-down; the ad burst decays monotonically "
+      "and is flagged spurious (Section 7.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "akg/akg_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scprt::akg {
+
+using graph::Edge;
+
+AkgBuilder::AkgBuilder(const AkgConfig& config,
+                       std::function<bool(KeywordId)> in_cluster)
+    : config_(config),
+      in_cluster_(std::move(in_cluster)),
+      id_sets_(config.window_length),
+      node_state_(config.high_state_threshold, config.window_length),
+      hasher_(config.minhash_size > 0
+                  ? config.minhash_size
+                  : DefaultMinHashSize(config.high_state_threshold,
+                                       config.ec_threshold),
+              config.seed) {
+  SCPRT_CHECK(config.ec_threshold > 0.0 && config.ec_threshold <= 1.0);
+  SCPRT_CHECK(in_cluster_ != nullptr);
+}
+
+const MinHashSignature& AkgBuilder::RefreshSignature(KeywordId keyword) {
+  return signatures_[keyword] =
+             hasher_.Signature(id_sets_.WindowUsers(keyword));
+}
+
+double AkgBuilder::EdgeCorrelation(const Edge& e) const {
+  auto it = edge_ec_.find(e);
+  return it == edge_ec_.end() ? 0.0 : it->second;
+}
+
+GraphDelta AkgBuilder::ProcessQuantum(const stream::Quantum& quantum) {
+  GraphDelta delta;
+  delta.quantum = quantum.index;
+  now_ = quantum.index;
+  last_stats_ = AkgQuantumStats{};
+
+  // --- 1. Ingest messages into id sets ---
+  id_sets_.BeginQuantum();
+  for (const stream::Message& m : quantum.messages) {
+    for (KeywordId k : m.keywords) id_sets_.Add(k, m.user);
+  }
+  id_sets_.EndQuantum();
+
+  // --- 2. Node state transitions (Section 3.1) ---
+  std::vector<std::pair<KeywordId, std::uint32_t>> quantum_keywords;
+  quantum_keywords.reserve(id_sets_.QuantumKeywords().size());
+  for (KeywordId k : id_sets_.QuantumKeywords()) {
+    quantum_keywords.emplace_back(
+        k, static_cast<std::uint32_t>(id_sets_.QuantumSupport(k)));
+  }
+  const NodeStateUpdate update =
+      node_state_.ProcessQuantum(now_, quantum_keywords, in_cluster_);
+  delta.nodes_added = update.entered;
+
+  // --- 3. Evict removed nodes and their edges ---
+  for (KeywordId k : update.removed) {
+    if (akg_.HasNode(k)) {
+      for (KeywordId neighbor : akg_.Neighbors(k)) {
+        const Edge e = Edge::Of(k, neighbor);
+        delta.edges_removed.push_back(e);
+        edge_ec_.erase(e);
+      }
+      akg_.RemoveNode(k);
+    }
+    signatures_.erase(k);
+    delta.nodes_removed.push_back(k);
+  }
+  for (KeywordId k : update.entered) akg_.AddNode(k);
+
+  // --- 4. Refresh signatures of keywords whose id sets changed and are
+  //        relevant this quantum: set (1) bursty + set (2) AKG-and-seen ---
+  for (KeywordId k : update.bursty) RefreshSignature(k);
+  for (KeywordId k : update.seen_in_akg) RefreshSignature(k);
+
+  // --- 5. New edges among set (1) (Section 3.2.1): bucket-join on shared
+  //        Min-Hash values to avoid the quadratic pair scan ---
+  const double gamma = config_.ec_threshold;
+  std::vector<std::pair<KeywordId, KeywordId>> candidates;
+  if (config_.ec_mode == EcMode::kExact) {
+    for (std::size_t i = 0; i < update.bursty.size(); ++i) {
+      for (std::size_t j = i + 1; j < update.bursty.size(); ++j) {
+        candidates.emplace_back(update.bursty[i], update.bursty[j]);
+      }
+    }
+  } else {
+    std::unordered_map<std::uint64_t, std::vector<KeywordId>> buckets;
+    for (KeywordId k : update.bursty) {
+      for (std::uint64_t h : signatures_[k]) buckets[h].push_back(k);
+    }
+    std::unordered_set<std::uint64_t> emitted;
+    for (const auto& [h, members] : buckets) {
+      if (members.size() < 2) continue;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          KeywordId a = members[i], b = members[j];
+          if (a > b) std::swap(a, b);
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(a) << 32) | b;
+          if (emitted.insert(key).second) candidates.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  last_stats_.pairs_screened = candidates.size();
+
+  for (const auto& [a, b] : candidates) {
+    if (akg_.HasEdge(a, b)) continue;
+    const MinHashSignature& sa = signatures_[a];
+    const MinHashSignature& sb = signatures_[b];
+    if (!PassesScreen(config_.ec_mode, sa, sb)) continue;
+    const double ec =
+        ComputeEc(config_.ec_mode, id_sets_, a, b, sa, sb, hasher_.p());
+    ++last_stats_.ec_computed;
+    if (ec >= gamma) {
+      akg_.AddEdge(a, b);
+      const Edge e = Edge::Of(a, b);
+      edge_ec_[e] = ec;
+      delta.edges_added.emplace_back(e, ec);
+    }
+  }
+
+  // --- 6. Lazy re-validation (Section 3.2.1 set (2)): keywords seen this
+  //        quantum update the EC with their current neighbors; edges whose
+  //        correlation fell below gamma are dropped ---
+  std::vector<KeywordId> touched = update.bursty;
+  touched.insert(touched.end(), update.seen_in_akg.begin(),
+                 update.seen_in_akg.end());
+  std::unordered_set<std::uint64_t> revalidated;
+  for (KeywordId k : touched) {
+    if (!akg_.HasNode(k)) continue;
+    // Copy: we mutate adjacency inside the loop.
+    const std::vector<KeywordId> neighbors = akg_.Neighbors(k);
+    for (KeywordId neighbor : neighbors) {
+      KeywordId a = k, b = neighbor;
+      if (a > b) std::swap(a, b);
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      if (!revalidated.insert(key).second) continue;
+      const Edge e = Edge::Of(a, b);
+      // Both signatures may be stale for the untouched endpoint; EC is
+      // computed from exact id sets except in kMinHashOnly mode.
+      const double ec =
+          ComputeEc(config_.ec_mode, id_sets_, a, b, signatures_[a],
+                    signatures_[b], hasher_.p());
+      ++last_stats_.ec_computed;
+      if (ec < gamma) {
+        akg_.RemoveEdge(a, b);
+        edge_ec_.erase(e);
+        delta.edges_removed.push_back(e);
+      } else if (ec != edge_ec_[e]) {
+        edge_ec_[e] = ec;
+        delta.ec_updated.emplace_back(e, ec);
+      }
+    }
+  }
+
+  // --- 7. Stats snapshot (Section 7.4) ---
+  last_stats_.ckg_nodes = node_state_.tracked_keywords();
+  last_stats_.quantum_keywords = quantum_keywords.size();
+  last_stats_.akg_nodes = akg_.node_count();
+  last_stats_.akg_edges = akg_.edge_count();
+  last_stats_.bursty = update.bursty.size();
+  return delta;
+}
+
+}  // namespace scprt::akg

@@ -1,0 +1,61 @@
+#include "akg/ckg.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scprt::akg {
+
+WindowedCkg::WindowedCkg(std::size_t window_length)
+    : window_length_(window_length) {
+  SCPRT_CHECK(window_length >= 1);
+}
+
+void WindowedCkg::PushQuantum(const stream::Quantum& quantum) {
+  // Spatial correlation is per *user* per quantum (Section 3.2): collect
+  // each user's keyword set, then contribute all pairs.
+  std::unordered_map<UserId, std::unordered_set<KeywordId>> per_user;
+  for (const stream::Message& m : quantum.messages) {
+    auto& set = per_user[m.user];
+    for (KeywordId k : m.keywords) set.insert(k);
+  }
+
+  QuantumContribution contribution;
+  for (const auto& [user, keywords] : per_user) {
+    (void)user;
+    std::vector<KeywordId> sorted(keywords.begin(), keywords.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      ++contribution.nodes[sorted[i]];
+      for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+        ++contribution.edges[EdgeKey(sorted[i], sorted[j])];
+      }
+    }
+  }
+  for (const auto& [key, count] : contribution.edges) edges_[key] += count;
+  for (const auto& [key, count] : contribution.nodes) nodes_[key] += count;
+  history_.push_back(std::move(contribution));
+
+  if (history_.size() > window_length_) {
+    const QuantumContribution& old = history_.front();
+    for (const auto& [key, count] : old.edges) {
+      auto it = edges_.find(key);
+      SCPRT_DCHECK(it != edges_.end());
+      if ((it->second -= count) == 0) edges_.erase(it);
+    }
+    for (const auto& [key, count] : old.nodes) {
+      auto it = nodes_.find(key);
+      SCPRT_DCHECK(it != nodes_.end());
+      if ((it->second -= count) == 0) nodes_.erase(it);
+    }
+    history_.pop_front();
+  }
+}
+
+bool WindowedCkg::HasEdge(KeywordId a, KeywordId b) const {
+  return edges_.count(EdgeKey(a, b)) > 0;
+}
+
+}  // namespace scprt::akg

@@ -1,0 +1,24 @@
+#include "akg/correlation.h"
+
+namespace scprt::akg {
+
+double ComputeEc(EcMode mode, const UserIdSets& sets, KeywordId a,
+                 KeywordId b, const MinHashSignature& sig_a,
+                 const MinHashSignature& sig_b, std::size_t p) {
+  switch (mode) {
+    case EcMode::kExact:
+    case EcMode::kMinHashScreenExactVerify:
+      return sets.Jaccard(a, b);
+    case EcMode::kMinHashOnly:
+      return MinHasher::EstimateJaccard(sig_a, sig_b, p);
+  }
+  return 0.0;
+}
+
+bool PassesScreen(EcMode mode, const MinHashSignature& sig_a,
+                  const MinHashSignature& sig_b) {
+  if (mode == EcMode::kExact) return true;
+  return MinHasher::SharesValue(sig_a, sig_b);
+}
+
+}  // namespace scprt::akg

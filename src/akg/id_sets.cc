@@ -1,0 +1,95 @@
+#include "akg/id_sets.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scprt::akg {
+
+UserIdSets::UserIdSets(std::size_t window_length)
+    : window_length_(window_length) {
+  SCPRT_CHECK(window_length >= 1);
+}
+
+void UserIdSets::BeginQuantum() {
+  SCPRT_CHECK(!quantum_open_);
+  quantum_open_ = true;
+  current_.clear();
+}
+
+void UserIdSets::Add(KeywordId keyword, UserId user) {
+  SCPRT_DCHECK(quantum_open_);
+  current_[keyword].insert(user);
+}
+
+void UserIdSets::EndQuantum() {
+  SCPRT_CHECK(quantum_open_);
+  quantum_open_ = false;
+
+  last_quantum_support_.clear();
+  last_quantum_keywords_.clear();
+  std::vector<std::pair<KeywordId, UserId>> compact;
+  for (const auto& [keyword, users] : current_) {
+    last_quantum_support_[keyword] =
+        static_cast<std::uint32_t>(users.size());
+    last_quantum_keywords_.push_back(keyword);
+    UserCounts& counts = window_[keyword];
+    for (UserId user : users) {
+      ++counts[user];
+      compact.emplace_back(keyword, user);
+    }
+  }
+  current_.clear();
+  history_.push_back(std::move(compact));
+
+  if (history_.size() > window_length_) {
+    for (const auto& [keyword, user] : history_.front()) {
+      auto wit = window_.find(keyword);
+      SCPRT_DCHECK(wit != window_.end());
+      auto uit = wit->second.find(user);
+      SCPRT_DCHECK(uit != wit->second.end());
+      if (--uit->second == 0) wit->second.erase(uit);
+      if (wit->second.empty()) window_.erase(wit);
+    }
+    history_.pop_front();
+  }
+}
+
+std::size_t UserIdSets::QuantumSupport(KeywordId keyword) const {
+  auto it = last_quantum_support_.find(keyword);
+  return it == last_quantum_support_.end() ? 0 : it->second;
+}
+
+std::size_t UserIdSets::WindowSupport(KeywordId keyword) const {
+  auto it = window_.find(keyword);
+  return it == window_.end() ? 0 : it->second.size();
+}
+
+std::vector<UserId> UserIdSets::WindowUsers(KeywordId keyword) const {
+  std::vector<UserId> users;
+  auto it = window_.find(keyword);
+  if (it == window_.end()) return users;
+  users.reserve(it->second.size());
+  for (const auto& [user, _] : it->second) users.push_back(user);
+  return users;
+}
+
+double UserIdSets::Jaccard(KeywordId a, KeywordId b) const {
+  auto ita = window_.find(a);
+  auto itb = window_.find(b);
+  if (ita == window_.end() || itb == window_.end()) return 0.0;
+  const UserCounts* small = &ita->second;
+  const UserCounts* large = &itb->second;
+  if (small->size() > large->size()) std::swap(small, large);
+  std::size_t intersection = 0;
+  for (const auto& [user, _] : *small) {
+    if (large->count(user)) ++intersection;
+  }
+  const std::size_t unioned = small->size() + large->size() - intersection;
+  return unioned == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(unioned);
+}
+
+}  // namespace scprt::akg

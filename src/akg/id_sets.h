@@ -1,0 +1,80 @@
+// Per-keyword user-id sets over the sliding window (Section 3.2: "This set
+// U1 (called the id set) associated with a keyword n1 contains the ids of
+// all those users who used this word in the current window").
+//
+// Supports O(1) amortized ingestion, exact window expiry, per-quantum
+// distinct-user counts (the burstiness signal), and exact Jaccard between
+// two keywords' id sets (the edge correlation EC).
+
+#ifndef SCPRT_AKG_ID_SETS_H_
+#define SCPRT_AKG_ID_SETS_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::akg {
+
+/// Maintains id sets for every keyword seen in the last `window_length`
+/// quanta. Usage per quantum: BeginQuantum(); Add(...)*; EndQuantum().
+class UserIdSets {
+ public:
+  /// `window_length` is the paper's w, >= 1.
+  explicit UserIdSets(std::size_t window_length);
+
+  /// Opens a new quantum. Must alternate with EndQuantum.
+  void BeginQuantum();
+
+  /// Records that `user` used `keyword` in the open quantum. Duplicate
+  /// (keyword, user) pairs within a quantum are collapsed.
+  void Add(KeywordId keyword, UserId user);
+
+  /// Closes the quantum, folds it into the window aggregate, and expires
+  /// the quantum that fell out of the window.
+  void EndQuantum();
+
+  /// Distinct users of `keyword` in the (just-closed) most recent quantum.
+  std::size_t QuantumSupport(KeywordId keyword) const;
+
+  /// Keywords that occurred in the most recent quantum.
+  const std::vector<KeywordId>& QuantumKeywords() const {
+    return last_quantum_keywords_;
+  }
+
+  /// Distinct users of `keyword` across the whole window (the node weight
+  /// w_i of the rank function).
+  std::size_t WindowSupport(KeywordId keyword) const;
+
+  /// Distinct users of `keyword` across the window (unordered snapshot).
+  std::vector<UserId> WindowUsers(KeywordId keyword) const;
+
+  /// Exact Jaccard coefficient of the two keywords' window id sets
+  /// (|U1 n U2| / |U1 u U2|). 0 when either set is empty.
+  double Jaccard(KeywordId a, KeywordId b) const;
+
+  /// Number of keywords with non-empty window id sets.
+  std::size_t active_keywords() const { return window_.size(); }
+
+ private:
+  using UserCounts = std::unordered_map<UserId, std::uint32_t>;
+
+  std::size_t window_length_;
+  bool quantum_open_ = false;
+
+  // Open quantum: keyword -> distinct users.
+  std::unordered_map<KeywordId, std::unordered_set<UserId>> current_;
+  // Closed quanta, oldest first, in compact form for expiry.
+  std::deque<std::vector<std::pair<KeywordId, UserId>>> history_;
+  // Window aggregate: keyword -> (user -> multiplicity across quanta).
+  std::unordered_map<KeywordId, UserCounts> window_;
+  // Most recent closed quantum's per-keyword distinct-user counts.
+  std::unordered_map<KeywordId, std::uint32_t> last_quantum_support_;
+  std::vector<KeywordId> last_quantum_keywords_;
+};
+
+}  // namespace scprt::akg
+
+#endif  // SCPRT_AKG_ID_SETS_H_

@@ -1,0 +1,80 @@
+#include "akg/minhash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scprt::akg {
+
+MinHasher::MinHasher(std::size_t p, std::uint64_t seed) : p_(p), hash_(seed) {
+  SCPRT_CHECK(p >= 1);
+}
+
+MinHashSignature MinHasher::Signature(
+    const std::vector<UserId>& users) const {
+  MinHashSignature sig;
+  sig.reserve(std::min(p_, users.size()));
+  for (UserId user : users) {
+    const std::uint64_t h = hash_(user);
+    if (sig.size() < p_) {
+      sig.push_back(h);
+      std::push_heap(sig.begin(), sig.end());  // max-heap of the bottom-p
+    } else if (h < sig.front()) {
+      std::pop_heap(sig.begin(), sig.end());
+      sig.back() = h;
+      std::push_heap(sig.begin(), sig.end());
+    }
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+bool MinHasher::SharesValue(const MinHashSignature& a,
+                            const MinHashSignature& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+double MinHasher::EstimateJaccard(const MinHashSignature& a,
+                                  const MinHashSignature& b, std::size_t p) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Bottom-p of the union by sorted merge (values are distinct with
+  // overwhelming probability under a 64-bit hash).
+  std::size_t i = 0, j = 0, taken = 0, shared = 0;
+  while (taken < p && (i < a.size() || j < b.size())) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      ++i;
+    } else if (i == a.size() || b[j] < a[i]) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+    ++taken;
+  }
+  return taken == 0 ? 0.0
+                    : static_cast<double>(shared) /
+                          static_cast<double>(taken);
+}
+
+std::size_t DefaultMinHashSize(std::uint32_t high_threshold,
+                               double ec_threshold) {
+  SCPRT_CHECK(ec_threshold > 0.0);
+  const std::size_t from_theta = high_threshold / 2;
+  const std::size_t from_gamma =
+      static_cast<std::size_t>(std::ceil(1.0 / ec_threshold));
+  const std::size_t p = std::min(from_theta, from_gamma);
+  return std::clamp<std::size_t>(p, 2, 16);
+}
+
+}  // namespace scprt::akg

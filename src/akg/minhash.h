@@ -1,0 +1,58 @@
+// Bottom-p Min-Hash signatures for cheap edge-correlation screening
+// (Section 3.2.2).
+//
+// Each user id is hashed once per quantum-batch with a seeded 64-bit hash;
+// a keyword's signature is the p smallest hash values over its window id
+// set. Two keywords sharing at least one signature value are candidate
+// edges (the paper adds the edge on a shared entry; we optionally verify
+// with the exact Jaccard — see AkgConfig::verify_exact_jaccard). The
+// bottom-p intersection also yields the standard unbiased Jaccard estimate.
+
+#ifndef SCPRT_AKG_MINHASH_H_
+#define SCPRT_AKG_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace scprt::akg {
+
+/// A keyword's signature: up to p hash values, sorted ascending.
+using MinHashSignature = std::vector<std::uint64_t>;
+
+/// Computes bottom-p signatures.
+class MinHasher {
+ public:
+  /// `p` >= 1 signature size; `seed` fixes the hash function.
+  MinHasher(std::size_t p, std::uint64_t seed);
+
+  /// Signature of a user set (any order). Size min(p, users.size()).
+  MinHashSignature Signature(const std::vector<UserId>& users) const;
+
+  /// True if the sorted signatures share at least one value.
+  static bool SharesValue(const MinHashSignature& a,
+                          const MinHashSignature& b);
+
+  /// Bottom-k Jaccard estimate: |X n A n B| / |X| where X is the bottom-p
+  /// of A u B. Unbiased for |A u B| >= p. Returns 0 on empty input.
+  static double EstimateJaccard(const MinHashSignature& a,
+                                const MinHashSignature& b, std::size_t p);
+
+  std::size_t p() const { return p_; }
+
+ private:
+  std::size_t p_;
+  SeededHash hash_;
+};
+
+/// Derives the paper's default signature size from theta and gamma:
+/// p = min(theta/2, ceil(1/gamma)), clamped to [2, 16] (Section 3.2.2:
+/// "Value of p is set to min(theta/2, 1/gamma)").
+std::size_t DefaultMinHashSize(std::uint32_t high_threshold,
+                               double ec_threshold);
+
+}  // namespace scprt::akg
+
+#endif  // SCPRT_AKG_MINHASH_H_

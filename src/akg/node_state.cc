@@ -1,0 +1,79 @@
+#include "akg/node_state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scprt::akg {
+
+NodeStateAutomaton::NodeStateAutomaton(std::uint32_t high_threshold,
+                                       std::size_t window_length)
+    : high_threshold_(high_threshold), window_length_(window_length) {
+  SCPRT_CHECK(high_threshold >= 1);
+  SCPRT_CHECK(window_length >= 1);
+}
+
+NodeStateUpdate NodeStateAutomaton::ProcessQuantum(
+    QuantumIndex now,
+    const std::vector<std::pair<KeywordId, std::uint32_t>>& quantum_keywords,
+    const std::function<bool(KeywordId)>& in_cluster) {
+  NodeStateUpdate update;
+
+  for (const auto& [keyword, users] : quantum_keywords) {
+    last_seen_[keyword] = now;
+    const bool bursty = users >= high_threshold_;
+    if (bursty) {
+      last_bursty_[keyword] = now;
+      update.bursty.push_back(keyword);
+      if (akg_.emplace(keyword, true).second) {
+        update.entered.push_back(keyword);
+      }
+    } else if (akg_.count(keyword)) {
+      update.seen_in_akg.push_back(keyword);
+    }
+  }
+
+  // Eviction sweep over AKG members (the AKG is small; Section 7.4 measures
+  // < 5% of keywords bursty). Two rules:
+  //   stale:    no occurrence in the last w quanta;
+  //   faded:    not bursty in the last w quanta and in no cluster.
+  const QuantumIndex horizon = now - static_cast<QuantumIndex>(window_length_);
+  std::vector<KeywordId> evict;
+  for (const auto& [keyword, _] : akg_) {
+    auto seen_it = last_seen_.find(keyword);
+    SCPRT_DCHECK(seen_it != last_seen_.end());
+    const bool stale = seen_it->second <= horizon;
+    bool faded = false;
+    if (!stale) {
+      auto bursty_it = last_bursty_.find(keyword);
+      const bool recently_bursty =
+          bursty_it != last_bursty_.end() && bursty_it->second > horizon;
+      faded = !recently_bursty && !in_cluster(keyword);
+    }
+    if (stale || faded) evict.push_back(keyword);
+  }
+  for (KeywordId keyword : evict) {
+    akg_.erase(keyword);
+    last_bursty_.erase(keyword);
+    update.removed.push_back(keyword);
+  }
+
+  // Prune the CKG-side bookkeeping of stale keywords so memory tracks the
+  // window, not the whole stream history.
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (it->second <= horizon && !akg_.count(it->first)) {
+      last_bursty_.erase(it->first);
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::sort(update.entered.begin(), update.entered.end());
+  std::sort(update.bursty.begin(), update.bursty.end());
+  std::sort(update.seen_in_akg.begin(), update.seen_in_akg.end());
+  std::sort(update.removed.begin(), update.removed.end());
+  return update;
+}
+
+}  // namespace scprt::akg

@@ -1,0 +1,80 @@
+// The two-state (low/high) keyword automaton with hysteresis that decides
+// AKG membership (Section 3.1).
+//
+// A keyword enters the AKG when it is bursty in a quantum: used by >= theta
+// (the High State Threshold) distinct users. It stays while it is part of an
+// event cluster, irrespective of subsequent frequency; it is evicted when it
+// becomes stale (no occurrence in the last w quanta) or when it has neither
+// been bursty in the last w quanta nor belongs to any cluster (the paper's
+// lazy update, smoothed over the window).
+
+#ifndef SCPRT_AKG_NODE_STATE_H_
+#define SCPRT_AKG_NODE_STATE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::akg {
+
+/// Per-quantum transition report.
+struct NodeStateUpdate {
+  /// Keywords newly admitted to the AKG this quantum (low -> high).
+  std::vector<KeywordId> entered;
+  /// All keywords in high state this quantum — the paper's set (1). A
+  /// superset of `entered`.
+  std::vector<KeywordId> bursty;
+  /// Keywords already in the AKG that occurred this quantum without being
+  /// bursty — the paper's set (2) minus set (1).
+  std::vector<KeywordId> seen_in_akg;
+  /// Keywords evicted from the AKG this quantum.
+  std::vector<KeywordId> removed;
+};
+
+/// Tracks low/high state for every keyword ever seen.
+class NodeStateAutomaton {
+ public:
+  /// `high_threshold` is theta (distinct users/quantum); `window_length` is
+  /// w, used for both the staleness and the burst-recency horizon.
+  NodeStateAutomaton(std::uint32_t high_threshold,
+                     std::size_t window_length);
+
+  /// Processes one closed quantum. `quantum_keywords` lists keywords that
+  /// occurred, with their distinct-user counts; `now` is the quantum index;
+  /// `in_cluster` reports whether a keyword currently belongs to any
+  /// discovered cluster (AKG retention rule).
+  NodeStateUpdate ProcessQuantum(
+      QuantumIndex now,
+      const std::vector<std::pair<KeywordId, std::uint32_t>>&
+          quantum_keywords,
+      const std::function<bool(KeywordId)>& in_cluster);
+
+  /// True if the keyword is currently an AKG node.
+  bool InAkg(KeywordId keyword) const { return akg_.count(keyword) > 0; }
+
+  /// Number of AKG nodes.
+  std::size_t akg_size() const { return akg_.size(); }
+
+  /// Number of keywords tracked (CKG-side node count over history; entries
+  /// older than w quanta are pruned, so this approximates the CKG node
+  /// count of the current window).
+  std::size_t tracked_keywords() const { return last_seen_.size(); }
+
+  std::uint32_t high_threshold() const { return high_threshold_; }
+
+ private:
+  std::uint32_t high_threshold_;
+  std::size_t window_length_;
+  // Last quantum each keyword occurred in any message (prune when stale).
+  std::unordered_map<KeywordId, QuantumIndex> last_seen_;
+  // Last quantum each keyword was bursty. Only grows for AKG members.
+  std::unordered_map<KeywordId, QuantumIndex> last_bursty_;
+  // Current AKG membership.
+  std::unordered_map<KeywordId, bool> akg_;
+};
+
+}  // namespace scprt::akg
+
+#endif  // SCPRT_AKG_NODE_STATE_H_

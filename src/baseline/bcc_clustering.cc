@@ -1,0 +1,25 @@
+#include "baseline/bcc_clustering.h"
+
+#include <algorithm>
+
+#include "graph/bcc.h"
+
+namespace scprt::baseline {
+
+using graph::Edge;
+
+std::vector<std::vector<Edge>> BcClusters(const graph::DynamicGraph& g,
+                                          bool include_edge_clusters) {
+  graph::BccResult bcc = graph::BiconnectedComponents(g);
+  std::vector<std::vector<Edge>> clusters;
+  clusters.reserve(bcc.components.size());
+  for (auto& component : bcc.components) {
+    if (component.size() < 2 && !include_edge_clusters) continue;
+    std::sort(component.begin(), component.end());
+    clusters.push_back(std::move(component));
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+}  // namespace scprt::baseline

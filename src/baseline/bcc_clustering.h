@@ -1,0 +1,29 @@
+// The offline comparison baseline of Section 7.3: biconnected-component
+// clustering recomputed on the whole AKG after each quantum, in the style of
+// Bansal et al., "Seeking Stable Clusters in the Blogosphere" (VLDB 2007)
+// — the paper's reference [2].
+//
+// Two variants are measured in Table 3:
+//   * "Bi-connected Clusters": BCCs with >= 2 edges;
+//   * "Bi-connected clusters + Edges": additionally, every edge that is not
+//     part of any larger BCC is reported as a cluster of size 2 (this is
+//     what inflates Ac by 276% and collapses precision to 0.216).
+
+#ifndef SCPRT_BASELINE_BCC_CLUSTERING_H_
+#define SCPRT_BASELINE_BCC_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::baseline {
+
+/// Offline BC clustering of `g`. When `include_edge_clusters` is set,
+/// bridge edges are returned as size-2 clusters too. Each inner vector is
+/// one cluster's edge set, canonically sorted.
+std::vector<std::vector<graph::Edge>> BcClusters(
+    const graph::DynamicGraph& g, bool include_edge_clusters);
+
+}  // namespace scprt::baseline
+
+#endif  // SCPRT_BASELINE_BCC_CLUSTERING_H_

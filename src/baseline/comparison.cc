@@ -1,0 +1,63 @@
+#include "baseline/comparison.h"
+
+#include <algorithm>
+#include <set>
+
+namespace scprt::baseline {
+
+using graph::Edge;
+using graph::NodeId;
+
+std::vector<NodeId> ClusterNodes(const std::vector<Edge>& edges) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    nodes.push_back(e.u);
+    nodes.push_back(e.v);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+ClusterComparison CompareClusterings(
+    const std::vector<std::vector<Edge>>& a,
+    const std::vector<std::vector<Edge>>& b) {
+  ClusterComparison cmp;
+  cmp.a_count = a.size();
+  cmp.b_count = b.size();
+
+  std::set<std::vector<NodeId>> a_nodes;
+  for (const auto& cluster : a) a_nodes.insert(ClusterNodes(cluster));
+
+  std::size_t overlap_nodes_total = 0;
+  std::size_t non_overlap_nodes_total = 0;
+  std::size_t non_overlap_count = 0;
+  for (const auto& cluster : b) {
+    const std::vector<NodeId> nodes = ClusterNodes(cluster);
+    if (a_nodes.count(nodes)) {
+      ++cmp.exact_overlap;
+      overlap_nodes_total += nodes.size();
+    } else {
+      ++non_overlap_count;
+      non_overlap_nodes_total += nodes.size();
+    }
+  }
+  if (cmp.a_count > 0) {
+    cmp.additional_pct =
+        100.0 *
+        (static_cast<double>(cmp.b_count) - static_cast<double>(cmp.a_count)) /
+        static_cast<double>(cmp.a_count);
+  }
+  if (cmp.exact_overlap > 0) {
+    cmp.avg_overlap_size = static_cast<double>(overlap_nodes_total) /
+                           static_cast<double>(cmp.exact_overlap);
+  }
+  if (non_overlap_count > 0) {
+    cmp.avg_non_overlap_size = static_cast<double>(non_overlap_nodes_total) /
+                               static_cast<double>(non_overlap_count);
+  }
+  return cmp;
+}
+
+}  // namespace scprt::baseline

@@ -1,0 +1,38 @@
+// Cluster-set comparison utilities for the Section 7.3 study: additional
+// clusters (Ac), exact-overlap fraction, and per-cluster node-set views.
+
+#ifndef SCPRT_BASELINE_COMPARISON_H_
+#define SCPRT_BASELINE_COMPARISON_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::baseline {
+
+/// Node set (sorted) of a cluster given as an edge set.
+std::vector<graph::NodeId> ClusterNodes(const std::vector<graph::Edge>& edges);
+
+/// Summary of comparing clustering `a` (e.g. SCP) with `b` (e.g. offline BC).
+struct ClusterComparison {
+  std::size_t a_count = 0;
+  std::size_t b_count = 0;
+  /// Clusters of `b` whose node set exactly equals some cluster of `a`.
+  std::size_t exact_overlap = 0;
+  /// (b_count - a_count) / a_count * 100 — the paper's "additional
+  /// clusters" percentage.
+  double additional_pct = 0.0;
+  /// Mean node count of the exactly-overlapping clusters.
+  double avg_overlap_size = 0.0;
+  /// Mean node count of b-clusters with no exact a-counterpart.
+  double avg_non_overlap_size = 0.0;
+};
+
+/// Compares two clusterings by node sets.
+ClusterComparison CompareClusterings(
+    const std::vector<std::vector<graph::Edge>>& a,
+    const std::vector<std::vector<graph::Edge>>& b);
+
+}  // namespace scprt::baseline
+
+#endif  // SCPRT_BASELINE_COMPARISON_H_

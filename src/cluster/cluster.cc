@@ -1,0 +1,42 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace scprt::cluster {
+
+std::size_t Cluster::DegreeOf(NodeId n) const {
+  auto it = node_degree_.find(n);
+  return it == node_degree_.end() ? 0 : it->second;
+}
+
+bool Cluster::InsertEdge(const Edge& e) {
+  if (!edges_.insert(e).second) return false;
+  ++node_degree_[e.u];
+  ++node_degree_[e.v];
+  return true;
+}
+
+bool Cluster::EraseEdge(const Edge& e) {
+  if (edges_.erase(e) == 0) return false;
+  for (NodeId n : {e.u, e.v}) {
+    auto it = node_degree_.find(n);
+    if (--it->second == 0) node_degree_.erase(it);
+  }
+  return true;
+}
+
+std::vector<NodeId> Cluster::SortedNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(node_degree_.size());
+  for (const auto& [n, _] : node_degree_) nodes.push_back(n);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<Edge> Cluster::SortedEdges() const {
+  std::vector<Edge> edges(edges_.begin(), edges_.end());
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace scprt::cluster

@@ -1,0 +1,121 @@
+#include "cluster/cluster_set.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scprt::cluster {
+
+void ClusterSet::IncNodeRef(NodeId n) { ++node_membership_[n]; }
+
+void ClusterSet::DecNodeRef(NodeId n) {
+  auto it = node_membership_.find(n);
+  SCPRT_DCHECK(it != node_membership_.end());
+  if (--it->second == 0) node_membership_.erase(it);
+}
+
+ClusterId ClusterSet::Create(const std::vector<Edge>& edges) {
+  SCPRT_CHECK(!edges.empty());
+  const ClusterId id = next_id_++;
+  auto cluster = std::make_unique<Cluster>(id);
+  for (const Edge& e : edges) {
+    SCPRT_CHECK(edge_owner_.count(e) == 0);
+    const bool new_u = !cluster->ContainsNode(e.u);
+    const bool new_v = !cluster->ContainsNode(e.v);
+    if (cluster->InsertEdge(e)) {
+      edge_owner_.emplace(e, id);
+      if (new_u) IncNodeRef(e.u);
+      if (new_v) IncNodeRef(e.v);
+    }
+  }
+  clusters_.emplace(id, std::move(cluster));
+  return id;
+}
+
+void ClusterSet::AddEdgeTo(ClusterId id, const Edge& e) {
+  SCPRT_CHECK(edge_owner_.count(e) == 0);
+  Cluster* cluster = FindMutable(id);
+  SCPRT_CHECK(cluster != nullptr);
+  const bool new_u = !cluster->ContainsNode(e.u);
+  const bool new_v = !cluster->ContainsNode(e.v);
+  if (cluster->InsertEdge(e)) {
+    edge_owner_.emplace(e, id);
+    if (new_u) IncNodeRef(e.u);
+    if (new_v) IncNodeRef(e.v);
+  }
+}
+
+ClusterId ClusterSet::RemoveEdge(const Edge& e) {
+  auto it = edge_owner_.find(e);
+  if (it == edge_owner_.end()) return kInvalidCluster;
+  const ClusterId id = it->second;
+  edge_owner_.erase(it);
+  Cluster* cluster = FindMutable(id);
+  SCPRT_DCHECK(cluster != nullptr);
+  cluster->EraseEdge(e);
+  if (!cluster->ContainsNode(e.u)) DecNodeRef(e.u);
+  if (!cluster->ContainsNode(e.v)) DecNodeRef(e.v);
+  if (cluster->edge_count() == 0) clusters_.erase(id);
+  return id;
+}
+
+ClusterId ClusterSet::Merge(ClusterId a, ClusterId b) {
+  SCPRT_CHECK(a != b);
+  Cluster* ca = FindMutable(a);
+  Cluster* cb = FindMutable(b);
+  SCPRT_CHECK(ca != nullptr && cb != nullptr);
+  // Small-to-large: move the smaller side's edges.
+  if (ca->edge_count() < cb->edge_count()) {
+    std::swap(a, b);
+    std::swap(ca, cb);
+  }
+  ca->born_at = std::min(ca->born_at, cb->born_at);
+  for (const Edge& e : cb->edges()) {
+    // Node refs: the node stays "in a cluster", but if it is in both sides
+    // its count must drop by one overall. Handle by dec (leaving b) + inc
+    // when newly joining a.
+    const bool new_u = !ca->ContainsNode(e.u);
+    const bool new_v = !ca->ContainsNode(e.v);
+    ca->InsertEdge(e);
+    edge_owner_[e] = a;
+    if (new_u) IncNodeRef(e.u);
+    if (new_v) IncNodeRef(e.v);
+  }
+  for (const auto& [n, _] : cb->node_degrees()) DecNodeRef(n);
+  clusters_.erase(b);
+  return a;
+}
+
+void ClusterSet::Remove(ClusterId id) {
+  Cluster* cluster = FindMutable(id);
+  SCPRT_CHECK(cluster != nullptr);
+  for (const Edge& e : cluster->edges()) edge_owner_.erase(e);
+  for (const auto& [n, _] : cluster->node_degrees()) DecNodeRef(n);
+  clusters_.erase(id);
+}
+
+ClusterId ClusterSet::OwnerOf(const Edge& e) const {
+  auto it = edge_owner_.find(e);
+  return it == edge_owner_.end() ? kInvalidCluster : it->second;
+}
+
+const Cluster* ClusterSet::Find(ClusterId id) const {
+  auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : it->second.get();
+}
+
+Cluster* ClusterSet::FindMutable(ClusterId id) {
+  auto it = clusters_.find(id);
+  return it == clusters_.end() ? nullptr : it->second.get();
+}
+
+bool ClusterSet::NodeInAnyCluster(NodeId n) const {
+  return node_membership_.count(n) > 0;
+}
+
+std::size_t ClusterSet::ClusterCountOf(NodeId n) const {
+  auto it = node_membership_.find(n);
+  return it == node_membership_.end() ? 0 : it->second;
+}
+
+}  // namespace scprt::cluster

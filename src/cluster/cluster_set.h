@@ -1,0 +1,86 @@
+// Registry of live clusters with an edge -> cluster index and per-node
+// membership counts. All structural mutation goes through ScpMaintainer;
+// ClusterSet enforces edge-disjointness.
+
+#ifndef SCPRT_CLUSTER_CLUSTER_SET_H_
+#define SCPRT_CLUSTER_CLUSTER_SET_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace scprt::cluster {
+
+/// Owns all clusters. Cluster ids are unique for the lifetime of the set;
+/// a merge keeps the id of the edge-richer side (stable event identity).
+class ClusterSet {
+ public:
+  ClusterSet() = default;
+
+  ClusterSet(const ClusterSet&) = delete;
+  ClusterSet& operator=(const ClusterSet&) = delete;
+  ClusterSet(ClusterSet&&) = default;
+  ClusterSet& operator=(ClusterSet&&) = default;
+
+  /// Creates a cluster from `edges` (must be >= 3 edges forming short
+  /// cycles; the maintainer guarantees this). Edges must not belong to any
+  /// cluster. Returns the new id.
+  ClusterId Create(const std::vector<Edge>& edges);
+
+  /// Adds one edge to an existing cluster. The edge must be unowned.
+  void AddEdgeTo(ClusterId id, const Edge& e);
+
+  /// Removes one edge from its cluster. No-op if the edge is unowned.
+  /// Deletes the cluster if it becomes empty. Returns the former owner (or
+  /// kInvalidCluster).
+  ClusterId RemoveEdge(const Edge& e);
+
+  /// Merges cluster `b` into `a` (or `a` into `b` if `b` is larger).
+  /// Returns the surviving id. a != b required.
+  ClusterId Merge(ClusterId a, ClusterId b);
+
+  /// Deletes cluster `id` entirely (its edges become unowned).
+  void Remove(ClusterId id);
+
+  /// Cluster owning `e`, or kInvalidCluster.
+  ClusterId OwnerOf(const Edge& e) const;
+
+  /// Looks up a live cluster (nullptr if the id is dead).
+  const Cluster* Find(ClusterId id) const;
+  Cluster* FindMutable(ClusterId id);
+
+  /// True if `n` belongs to at least one cluster (the AKG retention rule of
+  /// Section 3.1 keeps such keywords alive).
+  bool NodeInAnyCluster(NodeId n) const;
+
+  /// Number of clusters `n` belongs to.
+  std::size_t ClusterCountOf(NodeId n) const;
+
+  /// Number of live clusters.
+  std::size_t size() const { return clusters_.size(); }
+
+  /// Read-only iteration over live clusters.
+  const std::unordered_map<ClusterId, std::unique_ptr<Cluster>>& clusters()
+      const {
+    return clusters_;
+  }
+
+  /// Total edges across clusters (each edge counted once).
+  std::size_t total_edges() const { return edge_owner_.size(); }
+
+ private:
+  void IncNodeRef(NodeId n);
+  void DecNodeRef(NodeId n);
+
+  ClusterId next_id_ = 0;
+  std::unordered_map<ClusterId, std::unique_ptr<Cluster>> clusters_;
+  std::unordered_map<Edge, ClusterId, EdgeHash> edge_owner_;
+  // Number of clusters each node participates in.
+  std::unordered_map<NodeId, std::uint32_t> node_membership_;
+};
+
+}  // namespace scprt::cluster
+
+#endif  // SCPRT_CLUSTER_CLUSTER_SET_H_

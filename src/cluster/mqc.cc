@@ -1,0 +1,107 @@
+#include "cluster/mqc.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace scprt::cluster {
+
+using graph::DynamicGraph;
+using graph::NodeId;
+
+namespace {
+
+// Degree of `v` inside `nodes`.
+std::size_t DegreeWithin(const DynamicGraph& g, NodeId v,
+                         const std::vector<NodeId>& nodes) {
+  std::size_t d = 0;
+  for (NodeId u : nodes) {
+    if (u != v && g.HasEdge(u, v)) ++d;
+  }
+  return d;
+}
+
+// Connectivity of the induced subgraph via BFS over the node list.
+bool InducedConnected(const DynamicGraph& g,
+                      const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return false;
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<std::size_t> queue = {0};
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t i = queue.back();
+    queue.pop_back();
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (!visited[j] && g.HasEdge(nodes[i], nodes[j])) {
+        visited[j] = true;
+        ++reached;
+        queue.push_back(j);
+      }
+    }
+  }
+  return reached == nodes.size();
+}
+
+}  // namespace
+
+double QuasiCliqueGamma(const DynamicGraph& g,
+                        const std::vector<NodeId>& nodes) {
+  SCPRT_CHECK(nodes.size() >= 2);
+  double gamma = 1.0;
+  for (NodeId v : nodes) {
+    const double frac = static_cast<double>(DegreeWithin(g, v, nodes)) /
+                        static_cast<double>(nodes.size() - 1);
+    gamma = std::min(gamma, frac);
+  }
+  return gamma;
+}
+
+bool IsMqc(const DynamicGraph& g, const std::vector<NodeId>& nodes) {
+  const std::size_t n = nodes.size();
+  if (n < 3) return false;
+  for (NodeId v : nodes) {
+    // Strict majority: 2 * deg > N - 1.
+    if (2 * DegreeWithin(g, v, nodes) <= n - 1) return false;
+  }
+  return InducedConnected(g, nodes);
+}
+
+std::vector<std::vector<NodeId>> BruteForceMaximalMqcs(
+    const DynamicGraph& g) {
+  const std::vector<NodeId> all = [&] {
+    std::vector<NodeId> v = g.Nodes();
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  SCPRT_CHECK(all.size() <= 16);
+
+  std::vector<std::vector<NodeId>> mqcs;
+  const std::uint32_t limit = 1u << all.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    if (std::popcount(mask) < 3) continue;
+    std::vector<NodeId> subset;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (mask & (1u << i)) subset.push_back(all[i]);
+    }
+    if (IsMqc(g, subset)) mqcs.push_back(std::move(subset));
+  }
+  // Keep maximal ones only.
+  std::vector<std::vector<NodeId>> maximal;
+  for (const auto& a : mqcs) {
+    bool dominated = false;
+    for (const auto& b : mqcs) {
+      if (a.size() < b.size() &&
+          std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(a);
+  }
+  return maximal;
+}
+
+}  // namespace scprt::cluster

@@ -1,0 +1,37 @@
+// Majority quasi-clique (MQC) verification and brute-force search.
+//
+// A node set S is a majority quasi-clique when every member is adjacent to a
+// strict majority of the other members: deg_S(v) > (|S|-1)/2 (the paper's
+// "each node of the cluster is connected with a majority of the remaining
+// nodes"). Theorem 1: every edge of an MQC lies on a cycle of length <= 4
+// inside the MQC — SCP is necessary for MQC, so the SCP clusters (aMQCs)
+// never miss one. Verification is O(N^2) (Section 4.2); the exponential
+// brute-force finder exists for tests on tiny graphs only.
+
+#ifndef SCPRT_CLUSTER_MQC_H_
+#define SCPRT_CLUSTER_MQC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::cluster {
+
+/// gamma of the induced subgraph: min over nodes of deg_S(v) / (|S|-1).
+/// Requires |S| >= 2. A complete clique has gamma 1.
+double QuasiCliqueGamma(const graph::DynamicGraph& g,
+                        const std::vector<graph::NodeId>& nodes);
+
+/// True if `nodes` (>= 3 of them) induce a connected majority quasi-clique:
+/// every node adjacent (within the set) to > (|S|-1)/2 members.
+bool IsMqc(const graph::DynamicGraph& g,
+           const std::vector<graph::NodeId>& nodes);
+
+/// All maximal MQCs of `g` by exhaustive subset search. Exponential — only
+/// call on graphs with <= ~16 nodes (CHECKed).
+std::vector<std::vector<graph::NodeId>> BruteForceMaximalMqcs(
+    const graph::DynamicGraph& g);
+
+}  // namespace scprt::cluster
+
+#endif  // SCPRT_CLUSTER_MQC_H_

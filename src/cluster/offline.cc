@@ -1,0 +1,58 @@
+#include "cluster/offline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/union_find.h"
+#include "graph/short_cycle.h"
+
+namespace scprt::cluster {
+
+using graph::DynamicGraph;
+using graph::Edge;
+using graph::EdgeHash;
+using graph::ShortCycle;
+
+std::vector<std::vector<Edge>> OfflineScpClusters(const DynamicGraph& g) {
+  // Index every edge.
+  const std::vector<Edge> edges = g.Edges();
+  std::unordered_map<Edge, std::size_t, EdgeHash> edge_index;
+  edge_index.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) edge_index.emplace(edges[i], i);
+
+  UnionFind uf(edges.size());
+  std::vector<bool> on_cycle(edges.size(), false);
+
+  for (const ShortCycle& cycle : graph::AllShortCycles(g)) {
+    std::size_t first = 0;
+    bool have_first = false;
+    for (const Edge& e : cycle.CycleEdges()) {
+      const std::size_t idx = edge_index.at(e);
+      on_cycle[idx] = true;
+      if (!have_first) {
+        first = idx;
+        have_first = true;
+      } else {
+        uf.Union(first, idx);
+      }
+    }
+  }
+
+  // Group covered edges by representative.
+  std::unordered_map<std::size_t, std::vector<Edge>> groups;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (on_cycle[i]) groups[uf.Find(i)].push_back(edges[i]);
+  }
+  std::vector<std::vector<Edge>> clusters;
+  clusters.reserve(groups.size());
+  for (auto& [_, group] : groups) clusters.push_back(std::move(group));
+  CanonicalizeClusterList(clusters);
+  return clusters;
+}
+
+void CanonicalizeClusterList(std::vector<std::vector<Edge>>& clusters) {
+  for (auto& cluster : clusters) std::sort(cluster.begin(), cluster.end());
+  std::sort(clusters.begin(), clusters.end());
+}
+
+}  // namespace scprt::cluster

@@ -1,0 +1,32 @@
+// Canonical (from-scratch) SCP clustering of a static graph.
+//
+// This is the declarative fixpoint the incremental maintainer must agree
+// with (paper Theorem 3 / property P3): clusters are the connected
+// components of the relation "two cycles of length <= 4 share an edge",
+// with edge sets the unions of their cycles' edges. It doubles as the local
+// re-closure primitive after deletions, applied to a single cluster's
+// subgraph.
+
+#ifndef SCPRT_CLUSTER_OFFLINE_H_
+#define SCPRT_CLUSTER_OFFLINE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::cluster {
+
+/// Computes the canonical SCP clustering of `g`. Each inner vector is one
+/// cluster's edge set, sorted; clusters are sorted by their first edge.
+/// Edges on no short cycle appear in no cluster.
+std::vector<std::vector<graph::Edge>> OfflineScpClusters(
+    const graph::DynamicGraph& g);
+
+/// Sorts a cluster list into the canonical order used by OfflineScpClusters
+/// (each edge set sorted, then clusters sorted by first edge), enabling
+/// direct equality comparison in tests.
+void CanonicalizeClusterList(std::vector<std::vector<graph::Edge>>& clusters);
+
+}  // namespace scprt::cluster
+
+#endif  // SCPRT_CLUSTER_OFFLINE_H_

@@ -1,0 +1,34 @@
+#include "cluster/scp.h"
+
+#include "cluster/offline.h"
+
+namespace scprt::cluster {
+
+using graph::DynamicGraph;
+using graph::Edge;
+
+namespace {
+
+DynamicGraph BuildSubgraph(const std::vector<Edge>& edges) {
+  DynamicGraph g;
+  for (const Edge& e : edges) g.AddEdge(e.u, e.v);
+  return g;
+}
+
+}  // namespace
+
+bool EdgeSetSatisfiesScp(const std::vector<Edge>& edges) {
+  const DynamicGraph g = BuildSubgraph(edges);
+  std::size_t covered = 0;
+  for (const auto& cluster : OfflineScpClusters(g)) covered += cluster.size();
+  return covered == edges.size();
+}
+
+bool EdgeSetIsSingleScpCluster(const std::vector<Edge>& edges) {
+  if (edges.empty()) return false;
+  const DynamicGraph g = BuildSubgraph(edges);
+  const auto clusters = OfflineScpClusters(g);
+  return clusters.size() == 1 && clusters[0].size() == edges.size();
+}
+
+}  // namespace scprt::cluster

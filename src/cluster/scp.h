@@ -1,0 +1,23 @@
+// SCP validation predicates (Section 4.1) used by tests and by the
+// maintainer's internal invariant checks.
+
+#ifndef SCPRT_CLUSTER_SCP_H_
+#define SCPRT_CLUSTER_SCP_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::cluster {
+
+/// True if every edge of `edges` lies on a cycle of length <= 4 composed
+/// entirely of edges in `edges` (the short-cycle property of a cluster).
+bool EdgeSetSatisfiesScp(const std::vector<graph::Edge>& edges);
+
+/// True if the edge-share-cycle relation connects all of `edges` into one
+/// component (i.e., `edges` is exactly one canonical cluster, not several).
+bool EdgeSetIsSingleScpCluster(const std::vector<graph::Edge>& edges);
+
+}  // namespace scprt::cluster
+
+#endif  // SCPRT_CLUSTER_SCP_H_

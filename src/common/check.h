@@ -1,0 +1,44 @@
+// Lightweight CHECK/DCHECK assertion macros.
+//
+// scprt does not use exceptions across its public API. Violations of
+// programmer-facing preconditions abort via SCPRT_CHECK; data-dependent
+// failures are reported through return values (bool / std::optional).
+
+#ifndef SCPRT_COMMON_CHECK_H_
+#define SCPRT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scprt {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[scprt] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace scprt
+
+/// Aborts the process when `cond` is false. Always compiled in.
+#define SCPRT_CHECK(cond)                                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::scprt::internal_check::CheckFailed(__FILE__, __LINE__,      \
+                                           #cond);                  \
+    }                                                               \
+  } while (0)
+
+/// Like SCPRT_CHECK but compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define SCPRT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SCPRT_DCHECK(cond) SCPRT_CHECK(cond)
+#endif
+
+#endif  // SCPRT_COMMON_CHECK_H_

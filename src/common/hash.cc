@@ -1,0 +1,16 @@
+#include "common/hash.h"
+
+// Header-only for now; this TU anchors the library and hosts static
+// assertions that exercise the constexpr paths at build time.
+
+namespace scprt {
+namespace {
+
+static_assert(SplitMix64(0) != 0, "SplitMix64 must mix the zero input");
+static_assert(SplitMix64(1) != SplitMix64(2),
+              "SplitMix64 must separate adjacent inputs");
+static_assert(HashCombine(1, 2) != HashCombine(2, 1),
+              "HashCombine must be order-sensitive");
+
+}  // namespace
+}  // namespace scprt

@@ -1,0 +1,59 @@
+// Hash utilities: SplitMix64 mixing, hash combining, and a seeded
+// universal-style hasher used by the Min-Hash machinery (Section 3.2.2 of the
+// paper: user ids are hashed into a (0, 2^2n) range to avoid the birthday
+// paradox; we use the full 64-bit range).
+
+#ifndef SCPRT_COMMON_HASH_H_
+#define SCPRT_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace scprt {
+
+/// Finalizer of the SplitMix64 generator. A fast, well-distributed 64-bit
+/// mixing function; bijective, so distinct inputs never collide.
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (SplitMix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// A cheap seeded hash function family: Hash_seed(x). Different seeds give
+/// (empirically) independent functions; used for Min-Hash signatures.
+class SeededHash {
+ public:
+  /// Creates the hash function with the given `seed`.
+  explicit SeededHash(std::uint64_t seed) : seed_(SplitMix64(seed)) {}
+
+  /// Hashes `x` under this function.
+  std::uint64_t operator()(std::uint64_t x) const {
+    return SplitMix64(x ^ seed_);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Hash functor for std::pair of integral types, for use in unordered maps
+/// keyed by (node, node) edges.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<std::size_t>(
+        HashCombine(SplitMix64(static_cast<std::uint64_t>(p.first)),
+                    static_cast<std::uint64_t>(p.second)));
+  }
+};
+
+}  // namespace scprt
+
+#endif  // SCPRT_COMMON_HASH_H_

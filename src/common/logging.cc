@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace scprt {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_log {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[scprt %s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace internal_log
+}  // namespace scprt

@@ -1,0 +1,138 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scprt {
+
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion of the seed, per the xoshiro authors' advice.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x = SplitMix64(x);
+    s = x;
+  }
+  // All-zero state is the one forbidden state; the SplitMix64 expansion of
+  // any seed cannot produce it, but keep a guard for future edits.
+  SCPRT_DCHECK(s_[0] | s_[1] | s_[2] | s_[3]);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  SCPRT_DCHECK(bound > 0);
+  // Lemire 2019: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformRange(std::int64_t lo, std::int64_t hi) {
+  SCPRT_DCHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  UniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int Rng::Poisson(double lambda) {
+  SCPRT_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth: multiply uniforms until below e^-lambda.
+    const double threshold = std::exp(-lambda);
+    int k = 0;
+    double prod = UniformDouble();
+    while (prod > threshold) {
+      ++k;
+      prod *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large lambda; the
+  // generator only uses large lambda for aggregate message counts where the
+  // approximation error is immaterial.
+  const double u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307179586 * u2);
+  const double v = lambda + std::sqrt(lambda) * z + 0.5;
+  return v < 0 ? 0 : static_cast<int>(v);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  SCPRT_CHECK(n > 0);
+  SCPRT_CHECK(s > 0.0);
+  // Walker's alias method over the normalized Zipf pmf.
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = w[i] / total * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s_idx = small.back();
+    small.pop_back();
+    std::uint32_t l_idx = large.back();
+    large.pop_back();
+    prob_[s_idx] = scaled[s_idx];
+    alias_[s_idx] = l_idx;
+    scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+    (scaled[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const std::size_t i =
+      static_cast<std::size_t>(rng.UniformInt(alias_.size()));
+  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace scprt

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random generation for the synthetic workload
+// generator and the property tests.
+//
+// We ship our own generator (xoshiro256**) instead of <random> engines so
+// that traces are bit-reproducible across standard libraries and platforms —
+// benchmark tables must regenerate identically from a seed.
+
+#ifndef SCPRT_COMMON_RANDOM_H_
+#define SCPRT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scprt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded via SplitMix64.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rngs with the same seed produce the same
+  /// sequence on every platform.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method (unbiased).
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Poisson draw with mean `lambda` (Knuth's method for small lambda,
+  /// normal approximation above 64).
+  int Poisson(double lambda);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, ..., n-1} in O(1)
+/// after O(n) table construction. Rank 0 is the most frequent outcome.
+/// Used to model the long-tailed background vocabulary of a microblog stream.
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` outcomes with exponent `s` (s > 0; s = 1 is
+  /// the classic Zipf law).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Number of outcomes.
+  std::size_t size() const { return alias_.size(); }
+
+ private:
+  // Walker alias tables.
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace scprt
+
+#endif  // SCPRT_COMMON_RANDOM_H_

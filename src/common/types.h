@@ -1,0 +1,36 @@
+// Core identifier types shared by every scprt subsystem.
+
+#ifndef SCPRT_COMMON_TYPES_H_
+#define SCPRT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace scprt {
+
+/// Dense integer id of a keyword (a node of the CKG/AKG). Assigned by
+/// text::KeywordDictionary in arrival order.
+using KeywordId = std::uint32_t;
+
+/// Integer id of a microblog user.
+using UserId = std::uint32_t;
+
+/// Index of a quantum (the unit of time "τ" in the paper). Quantum 0 is the
+/// first batch of the stream.
+using QuantumIndex = std::int64_t;
+
+/// Id of a discovered cluster/event. Stable for the lifetime of the cluster;
+/// merged clusters keep the id of the surviving (larger) side.
+using ClusterId = std::uint64_t;
+
+/// Sentinel for "no keyword".
+inline constexpr KeywordId kInvalidKeyword =
+    std::numeric_limits<KeywordId>::max();
+
+/// Sentinel for "no cluster".
+inline constexpr ClusterId kInvalidCluster =
+    std::numeric_limits<ClusterId>::max();
+
+}  // namespace scprt
+
+#endif  // SCPRT_COMMON_TYPES_H_

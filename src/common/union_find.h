@@ -1,0 +1,56 @@
+// Union-find (disjoint set union) with path halving and union by size.
+
+#ifndef SCPRT_COMMON_UNION_FIND_H_
+#define SCPRT_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scprt {
+
+/// Disjoint sets over dense indices [0, n). Near-O(1) amortized operations.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets.
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's set.
+  std::size_t Find(std::size_t x) {
+    SCPRT_DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(std::size_t a, std::size_t b) {
+    std::size_t ra = Find(a);
+    std::size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  /// True if a and b are in the same set.
+  bool Same(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  std::size_t SetSize(std::size_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace scprt
+
+#endif  // SCPRT_COMMON_UNION_FIND_H_

@@ -1,0 +1,133 @@
+#include "detect/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace scprt::detect {
+
+namespace {
+
+constexpr char kMagic[] = "scprt-ckpt";
+constexpr int kVersion = 1;
+
+void WriteMessage(std::ostream& out, const stream::Message& m) {
+  out << "M " << m.seq << ' ' << m.user << ' ' << m.event_id;
+  for (KeywordId k : m.keywords) out << ' ' << k;
+  out << '\n';
+}
+
+bool ReadMessage(std::istringstream& ls, stream::Message& m) {
+  if (!(ls >> m.seq >> m.user >> m.event_id)) return false;
+  KeywordId k;
+  while (ls >> k) m.keywords.push_back(k);
+  return true;
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const EventDetector& detector, std::ostream& out) {
+  const DetectorConfig& config = detector.config();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "C " << config.quantum_size << ' '
+      << config.akg.high_state_threshold << ' ' << config.akg.ec_threshold
+      << ' ' << config.akg.window_length << ' ' << config.akg.minhash_size
+      << ' ' << static_cast<int>(config.akg.ec_mode) << ' '
+      << config.akg.seed << ' ' << config.min_event_nodes << ' '
+      << config.min_rank_margin << ' ' << (config.require_noun ? 1 : 0)
+      << '\n';
+  for (const stream::Quantum& quantum : detector.window().quanta()) {
+    out << "Q " << quantum.index << '\n';
+    for (const stream::Message& m : quantum.messages) WriteMessage(out, m);
+  }
+  out << "P\n";  // partial quantum follows
+  for (const stream::Message& m : detector.pending_messages()) {
+    WriteMessage(out, m);
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveCheckpointFile(const EventDetector& detector,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return SaveCheckpoint(detector, out);
+}
+
+std::unique_ptr<EventDetector> LoadCheckpoint(
+    std::istream& in, const text::KeywordDictionary* dictionary) {
+  std::string line;
+  if (!std::getline(in, line)) return nullptr;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) return nullptr;
+  }
+  if (!std::getline(in, line) || line.empty() || line[0] != 'C') {
+    return nullptr;
+  }
+  DetectorConfig config;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    int ec_mode = 0, require_noun = 0;
+    if (!(ls >> tag >> config.quantum_size >>
+          config.akg.high_state_threshold >> config.akg.ec_threshold >>
+          config.akg.window_length >> config.akg.minhash_size >> ec_mode >>
+          config.akg.seed >> config.min_event_nodes >>
+          config.min_rank_margin >> require_noun)) {
+      return nullptr;
+    }
+    config.akg.ec_mode = static_cast<akg::EcMode>(ec_mode);
+    config.require_noun = require_noun != 0;
+  }
+
+  auto detector = std::make_unique<EventDetector>(config, dictionary);
+  stream::Quantum current;
+  bool in_quantum = false;
+  bool in_pending = false;
+  auto flush_quantum = [&] {
+    if (in_quantum) detector->ProcessQuantum(current);
+    current = stream::Quantum{};
+    in_quantum = false;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "Q") {
+      flush_quantum();
+      if (!(ls >> current.index)) return nullptr;
+      in_quantum = true;
+      in_pending = false;
+    } else if (tag == "P") {
+      flush_quantum();
+      in_pending = true;
+    } else if (tag == "M") {
+      stream::Message m;
+      if (!ReadMessage(ls, m)) return nullptr;
+      if (in_pending) {
+        detector->Push(std::move(m));
+      } else if (in_quantum) {
+        current.messages.push_back(std::move(m));
+      } else {
+        return nullptr;
+      }
+    } else {
+      return nullptr;
+    }
+  }
+  flush_quantum();
+  return detector;
+}
+
+std::unique_ptr<EventDetector> LoadCheckpointFile(
+    const std::string& path, const text::KeywordDictionary* dictionary) {
+  std::ifstream in(path);
+  if (!in) return nullptr;
+  return LoadCheckpoint(in, dictionary);
+}
+
+}  // namespace scprt::detect

@@ -1,0 +1,58 @@
+// Checkpoint / recovery for the streaming detector.
+//
+// Strategy: replay-based warm restart. The id sets and edge correlations
+// are functions of the last w quanta; the node/edge hysteresis (keywords
+// retained while clustered, Section 3.1) can additionally depend on bursts
+// slightly older than w. A checkpoint therefore stores the last
+// w * DetectorConfig::checkpoint_retention quanta of raw messages plus the
+// partial quantum under accumulation and the configuration; restoring
+// replays them through a fresh detector.
+//
+// Semantics and caveats (deliberate, documented trade-offs):
+//   * Window-derived state (id sets, correlations, burstiness) is exactly
+//     reconstructed; hysteresis-carried state (a cluster kept alive by
+//     retention whose last burst predates the retained span) can differ —
+//     raise checkpoint_retention to tighten. In practice reports converge
+//     to the reference within a few quanta (see checkpoint_test.cc).
+//   * Cluster ids and birth stamps are rebuilt during replay, so ids are
+//     not stable across a restore, and the first-report ("NEW") markers
+//     fire again for live events. Consumers needing exactly-once report
+//     semantics should dedupe by keyword set downstream.
+//   * Keyword ids are dictionary-relative; restore with the same
+//     dictionary (or a superset that preserves ids).
+//
+// Format: the scprt-ckpt header carrying the config, then the window's
+// quanta and pending messages in the trace text format's message notation.
+
+#ifndef SCPRT_DETECT_CHECKPOINT_H_
+#define SCPRT_DETECT_CHECKPOINT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "detect/detector.h"
+
+namespace scprt::detect {
+
+/// Writes a checkpoint of `detector` to `out`. Returns false on stream
+/// failure.
+bool SaveCheckpoint(const EventDetector& detector, std::ostream& out);
+
+/// Saves to a file path.
+bool SaveCheckpointFile(const EventDetector& detector,
+                        const std::string& path);
+
+/// Restores a detector from a checkpoint. The stored configuration is used;
+/// `dictionary` follows the EventDetector constructor contract. Returns
+/// nullptr on malformed input.
+std::unique_ptr<EventDetector> LoadCheckpoint(
+    std::istream& in, const text::KeywordDictionary* dictionary);
+
+/// Loads from a file path.
+std::unique_ptr<EventDetector> LoadCheckpointFile(
+    const std::string& path, const text::KeywordDictionary* dictionary);
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_CHECKPOINT_H_

@@ -1,0 +1,46 @@
+// End-to-end detector configuration (paper Table 2 nominal values).
+
+#ifndef SCPRT_DETECT_CONFIG_H_
+#define SCPRT_DETECT_CONFIG_H_
+
+#include <cstddef>
+
+#include "akg/akg_builder.h"
+
+namespace scprt::detect {
+
+/// All tunables of the pipeline.
+struct DetectorConfig {
+  /// delta: messages per quantum (Table 2 nominal 160, range 80-240;
+  /// the ground-truth study of Sec 7.1 used 800).
+  std::size_t quantum_size = 160;
+
+  /// AKG-layer knobs: theta (high-state threshold, nominal 4 user
+  /// ids/quantum), gamma (EC threshold, nominal 0.20, range 0.1-0.25),
+  /// w (window length, nominal 30 quanta), Min-Hash p.
+  akg::AkgConfig akg;
+
+  /// Minimum nodes for a cluster to be reported as an event. SCP clusters
+  /// have >= 3 nodes by construction; raising this trades recall for
+  /// precision.
+  std::size_t min_event_nodes = 3;
+
+  /// Report filter 1 (Section 7.2.2): drop clusters ranked below
+  /// margin * rank_min(theta, gamma). Set <= 0 to disable.
+  double min_rank_margin = 1.0;
+
+  /// Report filter 2 (Section 7.2.2): drop clusters with no noun keyword.
+  /// Requires a dictionary to be attached to the detector.
+  bool require_noun = true;
+
+  /// Raw quanta retained for checkpoint/replay, as a multiple of the window
+  /// length w. The node/edge hysteresis (Section 3.1: keywords stay in the
+  /// AKG while clustered) can depend on history slightly older than w, so
+  /// replaying more than w quanta tightens restore fidelity. 1 = minimum;
+  /// 3 reconstructs all state whose supporting bursts are within 3w.
+  std::size_t checkpoint_retention = 3;
+};
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_CONFIG_H_

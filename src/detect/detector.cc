@@ -1,0 +1,145 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "rank/ranking.h"
+
+namespace scprt::detect {
+
+using cluster::Cluster;
+using graph::Edge;
+
+EventDetector::EventDetector(const DetectorConfig& config,
+                             const text::KeywordDictionary* dictionary)
+    : config_(config),
+      dictionary_(dictionary),
+      akg_(config.akg,
+           [this](KeywordId k) {
+             return maintainer_.clusters().NodeInAnyCluster(k);
+           }),
+      quantizer_(config.quantum_size),
+      window_(config.akg.window_length *
+              std::max<std::size_t>(1, config.checkpoint_retention)) {}
+
+std::optional<QuantumReport> EventDetector::Push(
+    const stream::Message& message) {
+  auto quantum = quantizer_.Push(message);
+  if (!quantum) return std::nullopt;
+  return ProcessQuantum(*quantum);
+}
+
+QuantumReport EventDetector::ProcessQuantum(const stream::Quantum& quantum) {
+  maintainer_.SetClock(quantum.index);
+  if (quantizer_.next_index() <= quantum.index) {
+    quantizer_.SetNextIndex(quantum.index + 1);
+  }
+  window_.Push(quantum);  // retained for checkpoint/replay
+  const akg::GraphDelta delta = akg_.ProcessQuantum(quantum);
+
+  // Structural application order: node evictions (which drop their incident
+  // edges inside the maintainer too), then edge drops, then edge adds.
+  for (KeywordId k : delta.nodes_removed) maintainer_.RemoveNode(k);
+  for (const Edge& e : delta.edges_removed) maintainer_.RemoveEdge(e.u, e.v);
+  for (const auto& [e, ec] : delta.edges_added) {
+    (void)ec;  // correlations live in the AKG builder
+    maintainer_.AddEdge(e.u, e.v);
+  }
+
+  QuantumReport report;
+  report.quantum = quantum.index;
+  const akg::AkgQuantumStats& stats = akg_.last_stats();
+  report.akg_nodes = stats.akg_nodes;
+  report.akg_edges = stats.akg_edges;
+  report.ckg_nodes = stats.ckg_nodes;
+  report.bursty_keywords = stats.bursty;
+  report.events = SnapshotEvents(quantum.index);
+  return report;
+}
+
+std::vector<QuantumReport> EventDetector::Run(
+    const std::vector<stream::Message>& trace) {
+  std::vector<QuantumReport> reports;
+  for (const stream::Message& m : trace) {
+    if (auto report = Push(m)) reports.push_back(*std::move(report));
+  }
+  return reports;
+}
+
+std::vector<EventSnapshot> EventDetector::SnapshotEvents(QuantumIndex now) {
+  const rank::EcFn ec = [this](const Edge& e) {
+    return akg_.EdgeCorrelation(e);
+  };
+  const rank::WeightFn weight = [this](graph::NodeId n) {
+    return static_cast<double>(akg_.NodeWeight(n));
+  };
+
+  std::vector<EventSnapshot> snapshots;
+  std::unordered_set<ClusterId> live;
+  for (const auto& [id, cluster] : maintainer_.clusters().clusters()) {
+    live.insert(id);
+    EventSnapshot snap;
+    snap.cluster_id = id;
+    snap.quantum = now;
+    snap.born_at = cluster->born_at;
+    snap.keywords = cluster->SortedNodes();
+    snap.node_count = cluster->node_count();
+    snap.edge_count = cluster->edge_count();
+    snap.rank = rank::ClusterRank(*cluster, ec, weight);
+    double ec_sum = 0.0;
+    for (const Edge& e : cluster->edges()) ec_sum += akg_.EdgeCorrelation(e);
+    snap.avg_ec = cluster->edge_count() == 0
+                      ? 0.0
+                      : ec_sum / static_cast<double>(cluster->edge_count());
+    // Support: distinct users over the window across member keywords.
+    std::unordered_set<UserId> users;
+    for (KeywordId k : snap.keywords) {
+      for (UserId u : akg_.id_sets().WindowUsers(k)) users.insert(u);
+    }
+    snap.support = users.size();
+
+    tracker_.Observe(id, rank::RankObservation{
+                             now, snap.rank,
+                             static_cast<std::uint32_t>(snap.node_count)});
+    snap.likely_spurious = tracker_.IsLikelySpurious(id);
+
+    if (!PassesFilters(snap)) continue;
+    snap.newly_reported = reported_.insert(id).second;
+    snapshots.push_back(std::move(snap));
+  }
+
+  // Garbage-collect tracker state of dead clusters (merged or dissolved).
+  for (ClusterId id : tracker_.TrackedIds()) {
+    if (!live.count(id)) tracker_.Forget(id);
+  }
+
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const EventSnapshot& a, const EventSnapshot& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.cluster_id < b.cluster_id;
+            });
+  return snapshots;
+}
+
+bool EventDetector::PassesFilters(const EventSnapshot& snapshot) const {
+  if (snapshot.node_count < config_.min_event_nodes) return false;
+  if (config_.min_rank_margin > 0.0) {
+    const double floor = rank::MinRankThreshold(
+        config_.akg.high_state_threshold, config_.akg.ec_threshold,
+        config_.min_rank_margin);
+    if (snapshot.rank < floor) return false;
+  }
+  if (config_.require_noun && dictionary_ != nullptr) {
+    bool has_noun = false;
+    for (KeywordId k : snapshot.keywords) {
+      if (k < dictionary_->size() && dictionary_->IsNoun(k)) {
+        has_noun = true;
+        break;
+      }
+    }
+    if (!has_noun) return false;
+  }
+  return true;
+}
+
+}  // namespace scprt::detect

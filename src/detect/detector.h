@@ -1,0 +1,84 @@
+// The end-to-end real-time event detector: message stream -> quanta -> AKG
+// deltas -> incremental SCP clusters -> ranked event reports. This is the
+// system of the paper, assembled.
+
+#ifndef SCPRT_DETECT_DETECTOR_H_
+#define SCPRT_DETECT_DETECTOR_H_
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "akg/akg_builder.h"
+#include "cluster/maintenance.h"
+#include "detect/config.h"
+#include "detect/event.h"
+#include "rank/rank_tracker.h"
+#include "stream/message.h"
+#include "stream/quantizer.h"
+#include "stream/sliding_window.h"
+#include "text/keyword_dictionary.h"
+
+namespace scprt::detect {
+
+/// Single-threaded streaming detector. Feed messages (or whole quanta); get
+/// a QuantumReport each time a quantum closes.
+class EventDetector {
+ public:
+  /// `dictionary` is optional and only consulted by the noun filter and by
+  /// report formatting; pass nullptr to disable both (the noun filter is
+  /// then skipped regardless of config.require_noun). The dictionary must
+  /// outlive the detector.
+  EventDetector(const DetectorConfig& config,
+                const text::KeywordDictionary* dictionary);
+
+  /// Streams one message; returns a report when it completed a quantum.
+  std::optional<QuantumReport> Push(const stream::Message& message);
+
+  /// Processes one pre-built quantum. The quantizer's next index is
+  /// re-based past this quantum so subsequent Push()es continue the clock.
+  QuantumReport ProcessQuantum(const stream::Quantum& quantum);
+
+  /// Runs a whole trace; returns every quantum report.
+  std::vector<QuantumReport> Run(const std::vector<stream::Message>& trace);
+
+  const cluster::ScpMaintainer& maintainer() const { return maintainer_; }
+  const akg::AkgBuilder& akg() const { return akg_; }
+  const DetectorConfig& config() const { return config_; }
+  const rank::RankTracker& rank_tracker() const { return tracker_; }
+
+  /// Ids of clusters that have ever been reported (first-report set).
+  const std::unordered_set<ClusterId>& reported_ids() const {
+    return reported_;
+  }
+
+  /// The raw quanta currently inside the sliding window plus the partial
+  /// quantum under accumulation — everything a checkpoint needs to rebuild
+  /// the detector by replay (see detect/checkpoint.h).
+  const stream::SlidingWindow& window() const { return window_; }
+  const std::vector<stream::Message>& pending_messages() const {
+    return quantizer_.pending();
+  }
+
+ private:
+  /// Builds the ranked, filtered snapshot list for the current state.
+  std::vector<EventSnapshot> SnapshotEvents(QuantumIndex now);
+
+  /// True if the cluster passes the report filters (size, rank, noun).
+  bool PassesFilters(const EventSnapshot& snapshot) const;
+
+  DetectorConfig config_;
+  const text::KeywordDictionary* dictionary_;
+  cluster::ScpMaintainer maintainer_;
+  akg::AkgBuilder akg_;
+  stream::Quantizer quantizer_;
+  rank::RankTracker tracker_;
+  std::unordered_set<ClusterId> reported_;
+  // Raw quanta retained for checkpoint/replay; bounded by
+  // w * checkpoint_retention.
+  stream::SlidingWindow window_;
+};
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_DETECTOR_H_

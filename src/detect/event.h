@@ -1,0 +1,51 @@
+// Event snapshots: what the detector reports to consumers each quantum.
+
+#ifndef SCPRT_DETECT_EVENT_H_
+#define SCPRT_DETECT_EVENT_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::detect {
+
+/// A ranked view of one live cluster at the end of a quantum.
+struct EventSnapshot {
+  /// Stable cluster id (survives merges on the larger side).
+  ClusterId cluster_id = kInvalidCluster;
+  /// Quantum of this snapshot.
+  QuantumIndex quantum = 0;
+  /// Quantum the cluster first formed (lead-time accounting).
+  QuantumIndex born_at = 0;
+  /// Member keywords, sorted.
+  std::vector<KeywordId> keywords;
+  /// Rank per Section 6.
+  double rank = 0.0;
+  /// Cluster size N and density.
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;
+  /// Mean edge correlation.
+  double avg_ec = 0.0;
+  /// Support: distinct users over the window across member keywords.
+  std::size_t support = 0;
+  /// True the first quantum this cluster passes the report filters.
+  bool newly_reported = false;
+  /// Post-hoc spuriousness flag from the rank tracker.
+  bool likely_spurious = false;
+};
+
+/// Everything the detector emits for one quantum.
+struct QuantumReport {
+  QuantumIndex quantum = 0;
+  /// All clusters passing the report filters, rank-descending.
+  std::vector<EventSnapshot> events;
+  /// AKG size statistics for this quantum.
+  std::size_t akg_nodes = 0;
+  std::size_t akg_edges = 0;
+  std::size_t ckg_nodes = 0;
+  std::size_t bursty_keywords = 0;
+};
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_EVENT_H_

@@ -1,0 +1,80 @@
+#include "detect/feed.h"
+
+#include <algorithm>
+
+namespace scprt::detect {
+
+namespace {
+
+double SortedJaccard(const std::vector<KeywordId>& a,
+                     const std::vector<KeywordId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t i = 0, j = 0, both = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(both) /
+         static_cast<double>(a.size() + b.size() - both);
+}
+
+}  // namespace
+
+EventFeed::EventFeed(const FeedConfig& config)
+    : config_(config), suppressor_(config.spurious_patience) {}
+
+bool EventFeed::IsDuplicate(const std::vector<KeywordId>& keywords,
+                            QuantumIndex now) const {
+  for (const DeliveredMemo& memo : delivered_) {
+    if (now - memo.quantum > config_.dedupe_horizon) continue;
+    if (SortedJaccard(keywords, memo.keywords) >= config_.dedupe_jaccard) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FeedItem> EventFeed::Consume(const QuantumReport& report) {
+  // 1. Spurious suppression.
+  std::vector<EventSnapshot> kept;
+  for (std::size_t i : suppressor_.Filter(report.events)) {
+    kept.push_back(report.events[i]);
+  }
+
+  // 2. Story grouping.
+  const std::vector<Story> stories =
+      CorrelateEvents(kept, config_.correlator);
+
+  // 3. Deliver stories whose lead is fresh (not a near-duplicate of an
+  //    already delivered item).
+  std::vector<FeedItem> items;
+  for (const Story& story : stories) {
+    const EventSnapshot& lead = kept[story.members.front()];
+    // Only stories containing a newly reported cluster can be new.
+    bool any_new = false;
+    for (std::size_t m : story.members) any_new |= kept[m].newly_reported;
+    if (!any_new) continue;
+    if (IsDuplicate(lead.keywords, report.quantum)) continue;
+
+    FeedItem item;
+    item.quantum = report.quantum;
+    item.lead = lead;
+    for (std::size_t m = 1; m < story.members.size(); ++m) {
+      item.related.push_back(kept[story.members[m]]);
+    }
+    delivered_.push_back(DeliveredMemo{lead.keywords, report.quantum});
+    if (delivered_.size() > config_.dedupe_memory) delivered_.pop_front();
+    ++delivered_count_;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace scprt::detect

@@ -1,0 +1,81 @@
+// EventFeed — the consumer-facing composition of the pipeline: detector +
+// spurious suppression + story correlation + exactly-once delivery.
+//
+// The raw detector re-announces a cluster as NEW whenever its identity
+// changes (splits, restores from checkpoint); subscribers usually want each
+// real-world event once. The feed dedupes by keyword-set similarity against
+// recently delivered items, suppresses post-hoc-spurious events, and groups
+// correlated clusters into stories before delivery.
+
+#ifndef SCPRT_DETECT_FEED_H_
+#define SCPRT_DETECT_FEED_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "detect/event.h"
+#include "detect/postprocess.h"
+
+namespace scprt::detect {
+
+/// Feed tuning.
+struct FeedConfig {
+  /// Consecutive spurious flags before suppression.
+  int spurious_patience = 3;
+  /// Story grouping parameters.
+  CorrelatorConfig correlator;
+  /// A new item is a duplicate of a delivered one when the keyword Jaccard
+  /// reaches this value...
+  double dedupe_jaccard = 0.5;
+  /// ...and the delivered item is at most this many quanta old.
+  std::int64_t dedupe_horizon = 60;
+  /// Maximum remembered delivered items.
+  std::size_t dedupe_memory = 256;
+};
+
+/// One delivered feed item (a story's lead cluster plus its satellites).
+struct FeedItem {
+  QuantumIndex quantum = 0;
+  /// The story's best-ranked snapshot.
+  EventSnapshot lead;
+  /// Other members of the story (possibly empty).
+  std::vector<EventSnapshot> related;
+};
+
+/// Stateful feed: push each QuantumReport, receive newly deliverable items.
+class EventFeed {
+ public:
+  explicit EventFeed(const FeedConfig& config = {});
+
+  /// Consumes one report; returns the items that should be delivered now
+  /// (new stories only — ongoing ones are not repeated).
+  std::vector<FeedItem> Consume(const QuantumReport& report);
+
+  /// Items delivered so far.
+  std::uint64_t delivered_count() const { return delivered_count_; }
+
+  /// Events currently suppressed as spurious.
+  std::size_t suppressed_count() const {
+    return suppressor_.suppressed_count();
+  }
+
+ private:
+  struct DeliveredMemo {
+    std::vector<KeywordId> keywords;  // sorted
+    QuantumIndex quantum = 0;
+  };
+
+  bool IsDuplicate(const std::vector<KeywordId>& keywords,
+                   QuantumIndex now) const;
+
+  FeedConfig config_;
+  SpuriousSuppressor suppressor_;
+  std::deque<DeliveredMemo> delivered_;
+  std::uint64_t delivered_count_ = 0;
+};
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_FEED_H_

@@ -1,0 +1,73 @@
+// Post-processing of discovered events (paper Section 1.1: clusters
+// pointing to the same event "should show temporal correlation. Therefore,
+// one can post-process the discovered clusters (within a given time window)
+// to correlate such clusters"; Section 8 lists this as future work).
+//
+// Two facilities:
+//   * EventCorrelator — groups reported events of the same quantum window
+//     whose clusters are temporally close and share keywords or supporting
+//     users, producing "story" groups for presentation.
+//   * SpuriousSuppressor — a reporting policy over the rank tracker's
+//     post-hoc signal: events flagged spurious for several consecutive
+//     quanta are demoted out of the feed (the paper cannot suppress them at
+//     discovery time — "we cannot determine their future behavior" — but a
+//     consumer-facing feed can demote them once the signal stabilizes).
+
+#ifndef SCPRT_DETECT_POSTPROCESS_H_
+#define SCPRT_DETECT_POSTPROCESS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/event.h"
+
+namespace scprt::detect {
+
+/// Configuration of the story correlator.
+struct CorrelatorConfig {
+  /// Two events correlate when the Jaccard of their keyword sets reaches
+  /// this threshold...
+  double keyword_jaccard = 0.25;
+  /// ...and their birth quanta differ by at most this much (temporal
+  /// correlation of clusters about one real-world event).
+  std::int64_t max_birth_gap = 8;
+};
+
+/// One group of correlated events (a "story").
+struct Story {
+  /// Snapshot indices into the input vector, rank-descending.
+  std::vector<std::size_t> members;
+  /// Highest member rank (the story's rank).
+  double rank = 0.0;
+};
+
+/// Groups the events of one report into stories. Single-pass greedy union
+/// by pairwise keyword Jaccard + birth proximity; deterministic.
+std::vector<Story> CorrelateEvents(const std::vector<EventSnapshot>& events,
+                                   const CorrelatorConfig& config = {});
+
+/// Demotion policy over consecutive spurious flags.
+class SpuriousSuppressor {
+ public:
+  /// `patience`: consecutive likely_spurious observations before an event
+  /// is suppressed.
+  explicit SpuriousSuppressor(int patience = 3);
+
+  /// Feeds one quantum's snapshots; returns the indices (into `events`)
+  /// that should be shown, preserving order. Events flagged spurious for
+  /// `patience` consecutive quanta are dropped; state resets whenever the
+  /// flag clears (the event "came back to life").
+  std::vector<std::size_t> Filter(const std::vector<EventSnapshot>& events);
+
+  /// Number of events currently suppressed.
+  std::size_t suppressed_count() const;
+
+ private:
+  int patience_;
+  std::unordered_map<ClusterId, int> consecutive_;
+};
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_POSTPROCESS_H_

@@ -1,0 +1,46 @@
+#include "detect/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace scprt::detect {
+
+std::string FormatEvent(const EventSnapshot& snapshot,
+                        const text::KeywordDictionary& dictionary) {
+  std::ostringstream out;
+  char head[96];
+  std::snprintf(head, sizeof(head), "[rank %.1f, n=%zu, e=%zu, ec=%.2f%s] ",
+                snapshot.rank, snapshot.node_count, snapshot.edge_count,
+                snapshot.avg_ec, snapshot.newly_reported ? ", NEW" : "");
+  out << head;
+  bool first = true;
+  for (KeywordId k : snapshot.keywords) {
+    if (!first) out << ' ';
+    first = false;
+    out << (k < dictionary.size() ? dictionary.Spelling(k)
+                                  : "kw" + std::to_string(k));
+  }
+  if (snapshot.likely_spurious) out << "  (spurious?)";
+  return out.str();
+}
+
+std::string FormatReport(const QuantumReport& report,
+                         const text::KeywordDictionary& dictionary,
+                         std::size_t max_events) {
+  std::ostringstream out;
+  out << "quantum " << report.quantum << ": " << report.events.size()
+      << " event(s), AKG " << report.akg_nodes << " nodes / "
+      << report.akg_edges << " edges (window keywords " << report.ckg_nodes
+      << ", bursty " << report.bursty_keywords << ")\n";
+  std::size_t shown = 0;
+  for (const EventSnapshot& e : report.events) {
+    if (shown++ == max_events) {
+      out << "  ...\n";
+      break;
+    }
+    out << "  " << FormatEvent(e, dictionary) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace scprt::detect

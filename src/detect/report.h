@@ -1,0 +1,25 @@
+// Human-readable formatting of event reports.
+
+#ifndef SCPRT_DETECT_REPORT_H_
+#define SCPRT_DETECT_REPORT_H_
+
+#include <string>
+
+#include "detect/event.h"
+#include "text/keyword_dictionary.h"
+
+namespace scprt::detect {
+
+/// One-line rendering of an event: rank, size and keyword spellings, e.g.
+///   [rank 186.4, n=5, ec=0.42] earthquake struck eastern turkey 5.9
+std::string FormatEvent(const EventSnapshot& snapshot,
+                        const text::KeywordDictionary& dictionary);
+
+/// Multi-line rendering of a whole quantum report (top `max_events`).
+std::string FormatReport(const QuantumReport& report,
+                         const text::KeywordDictionary& dictionary,
+                         std::size_t max_events = 10);
+
+}  // namespace scprt::detect
+
+#endif  // SCPRT_DETECT_REPORT_H_

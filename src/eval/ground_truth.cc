@@ -1,0 +1,52 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stream/message.h"
+
+namespace scprt::eval {
+
+GroundTruthMatcher::GroundTruthMatcher(const stream::EventScript& script,
+                                       double min_purity)
+    : script_(script), min_purity_(min_purity) {
+  SCPRT_CHECK(min_purity > 0.0 && min_purity <= 1.0);
+  for (const stream::PlantedEvent& e : script.events) {
+    for (KeywordId k : e.keywords) owner_[k] = e.id;
+    for (KeywordId k : e.late_keywords) owner_[k] = e.id;
+  }
+}
+
+std::int32_t GroundTruthMatcher::OwnerOf(KeywordId keyword) const {
+  auto it = owner_.find(keyword);
+  return it == owner_.end() ? stream::kBackground : it->second;
+}
+
+ClusterVerdict GroundTruthMatcher::Classify(
+    const std::vector<KeywordId>& keywords) const {
+  ClusterVerdict verdict;
+  if (keywords.empty()) return verdict;
+  std::unordered_map<std::int32_t, std::size_t> votes;
+  for (KeywordId k : keywords) ++votes[OwnerOf(k)];
+
+  std::int32_t best = stream::kBackground;
+  std::size_t best_votes = 0;
+  for (const auto& [event_id, count] : votes) {
+    if (event_id == stream::kBackground) continue;
+    if (count > best_votes) {
+      best = event_id;
+      best_votes = count;
+    }
+  }
+  const double purity =
+      static_cast<double>(best_votes) / static_cast<double>(keywords.size());
+  if (best != stream::kBackground && purity >= min_purity_) {
+    verdict.event_id = best;
+    verdict.purity = purity;
+    const stream::PlantedEvent* event = script_.Find(best);
+    verdict.real = event != nullptr && !event->spurious;
+  }
+  return verdict;
+}
+
+}  // namespace scprt::eval

@@ -1,0 +1,51 @@
+// Matching discovered clusters against the planted ground truth, and the
+// precision/recall protocol of Section 7.2.2 with an exact oracle.
+
+#ifndef SCPRT_EVAL_GROUND_TRUTH_H_
+#define SCPRT_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/event_script.h"
+
+namespace scprt::eval {
+
+/// Classification of one reported cluster.
+struct ClusterVerdict {
+  /// Matched planted event id, or stream::kBackground when the cluster's
+  /// keywords are mostly background chatter.
+  std::int32_t event_id = -1;
+  /// True when matched to a real (non-spurious) planted event.
+  bool real = false;
+  /// Fraction of cluster keywords owned by the matched event.
+  double purity = 0.0;
+};
+
+/// Matches keyword sets to planted events by majority ownership.
+class GroundTruthMatcher {
+ public:
+  /// `min_purity`: fraction of cluster keywords that must belong to one
+  /// event for a match (default: strict majority).
+  explicit GroundTruthMatcher(const stream::EventScript& script,
+                              double min_purity = 0.5);
+
+  /// Classifies a cluster by its keyword set.
+  ClusterVerdict Classify(const std::vector<KeywordId>& keywords) const;
+
+  /// Owner event of one keyword (kBackground for background vocabulary).
+  std::int32_t OwnerOf(KeywordId keyword) const;
+
+  const stream::EventScript& script() const { return script_; }
+
+ private:
+  const stream::EventScript& script_;
+  double min_purity_;
+  std::unordered_map<KeywordId, std::int32_t> owner_;
+};
+
+}  // namespace scprt::eval
+
+#endif  // SCPRT_EVAL_GROUND_TRUTH_H_

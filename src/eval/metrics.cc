@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scprt::eval {
+
+RunMetrics EvaluateRun(const std::vector<detect::QuantumReport>& reports,
+                       const GroundTruthMatcher& matcher,
+                       std::size_t quantum_size) {
+  RunMetrics m;
+  m.events_planted = matcher.script().real_event_count();
+
+  std::unordered_set<std::int32_t> discovered;
+  std::unordered_map<std::int32_t, QuantumIndex> first_report_quantum;
+  double rank_sum = 0.0;
+  double size_sum = 0.0;
+
+  for (const detect::QuantumReport& report : reports) {
+    for (const detect::EventSnapshot& snap : report.events) {
+      if (!snap.newly_reported) continue;
+      ++m.clusters_reported;
+      rank_sum += snap.rank;
+      size_sum += static_cast<double>(snap.node_count);
+      const ClusterVerdict verdict = matcher.Classify(snap.keywords);
+      if (verdict.real) {
+        ++m.real_reports;
+        if (discovered.insert(verdict.event_id).second) {
+          first_report_quantum[verdict.event_id] = report.quantum;
+        }
+      }
+    }
+  }
+
+  m.events_discovered = discovered.size();
+  if (m.clusters_reported > 0) {
+    m.precision = static_cast<double>(m.real_reports) /
+                  static_cast<double>(m.clusters_reported);
+    m.avg_rank = rank_sum / static_cast<double>(m.clusters_reported);
+    m.avg_cluster_size = size_sum / static_cast<double>(m.clusters_reported);
+  }
+  if (m.events_planted > 0) {
+    m.recall = static_cast<double>(m.events_discovered) /
+               static_cast<double>(m.events_planted);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+
+  if (!first_report_quantum.empty() && quantum_size > 0) {
+    double lag_sum = 0.0;
+    for (const auto& [event_id, quantum] : first_report_quantum) {
+      const stream::PlantedEvent* event = matcher.script().Find(event_id);
+      if (event == nullptr) continue;
+      const double start_quantum = static_cast<double>(event->start_seq) /
+                                   static_cast<double>(quantum_size);
+      lag_sum += static_cast<double>(quantum) - start_quantum;
+    }
+    m.avg_detection_lag_quanta =
+        lag_sum / static_cast<double>(first_report_quantum.size());
+  }
+  return m;
+}
+
+}  // namespace scprt::eval

@@ -1,0 +1,47 @@
+// Run-level precision/recall/quality metrics over detector reports
+// (Sections 7.2.2-7.2.4, Table 3 columns).
+
+#ifndef SCPRT_EVAL_METRICS_H_
+#define SCPRT_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "detect/event.h"
+#include "eval/ground_truth.h"
+
+namespace scprt::eval {
+
+/// Aggregated outcome of one detector run against a planted script.
+struct RunMetrics {
+  /// Distinct reported clusters (first reports) over the run.
+  std::size_t clusters_reported = 0;
+  /// Reported clusters matched to real planted events.
+  std::size_t real_reports = 0;
+  /// Distinct real events discovered.
+  std::size_t events_discovered = 0;
+  /// Real (non-spurious) events planted — the recall denominator.
+  std::size_t events_planted = 0;
+  /// precision = real_reports / clusters_reported.
+  double precision = 0.0;
+  /// recall = events_discovered / events_planted.
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Mean rank and node count of reported clusters (quality, Sec 7.2.4).
+  double avg_rank = 0.0;
+  double avg_cluster_size = 0.0;
+  /// Mean lead time from planted start to first report, in quanta, over
+  /// discovered events.
+  double avg_detection_lag_quanta = 0.0;
+};
+
+/// Evaluates a full run: consumes every quantum report, classifying each
+/// newly reported cluster against the ground truth.
+/// `quantum_size` converts planted start sequences to quantum indices for
+/// detection-lag accounting.
+RunMetrics EvaluateRun(const std::vector<detect::QuantumReport>& reports,
+                       const GroundTruthMatcher& matcher,
+                       std::size_t quantum_size);
+
+}  // namespace scprt::eval
+
+#endif  // SCPRT_EVAL_METRICS_H_

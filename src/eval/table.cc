@@ -1,0 +1,63 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace scprt::eval {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SCPRT_CHECK(!header_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  SCPRT_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::Int(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+void AsciiTable::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        for (std::size_t pad = row[c].size(); pad < widths[c] + 2; ++pad) {
+          out << ' ';
+        }
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  for (std::size_t i = 0; i < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace scprt::eval

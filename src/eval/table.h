@@ -1,0 +1,36 @@
+// Minimal fixed-width ASCII table printer for the benchmark harnesses —
+// every bench binary prints the same rows the paper's tables/figures report.
+
+#ifndef SCPRT_EVAL_TABLE_H_
+#define SCPRT_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scprt::eval {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class AsciiTable {
+ public:
+  /// `header` defines the column count.
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row. Must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(std::uint64_t value);
+
+  /// Renders with a separator under the header.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scprt::eval
+
+#endif  // SCPRT_EVAL_TABLE_H_

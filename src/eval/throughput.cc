@@ -1,0 +1,3 @@
+#include "eval/throughput.h"
+
+// Header-only; this TU anchors the target.

@@ -1,0 +1,40 @@
+// Wall-clock throughput measurement (Table 4: messages processed/second).
+
+#ifndef SCPRT_EVAL_THROUGHPUT_H_
+#define SCPRT_EVAL_THROUGHPUT_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace scprt::eval {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Throughput record.
+struct Throughput {
+  std::uint64_t messages = 0;
+  double seconds = 0.0;
+
+  double MessagesPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(messages) / seconds : 0.0;
+  }
+};
+
+}  // namespace scprt::eval
+
+#endif  // SCPRT_EVAL_THROUGHPUT_H_

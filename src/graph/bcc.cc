@@ -1,0 +1,137 @@
+#include "graph/bcc.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace scprt::graph {
+
+namespace {
+
+// Iterative Hopcroft-Tarjan. State per DFS frame: the node, its parent, and
+// the index of the next neighbor to scan.
+struct Frame {
+  NodeId node;
+  NodeId parent;
+  bool has_parent;
+  std::size_t next_neighbor;
+};
+
+class BccSolver {
+ public:
+  explicit BccSolver(const DynamicGraph& g) : g_(g) {}
+
+  BccResult Run() {
+    for (NodeId root : g_.Nodes()) {
+      if (!disc_.count(root)) Dfs(root);
+    }
+    std::sort(result_.articulation_points.begin(),
+              result_.articulation_points.end());
+    return std::move(result_);
+  }
+
+ private:
+  void Dfs(NodeId root) {
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, 0, false, 0});
+    disc_[root] = low_[root] = timer_++;
+    std::size_t root_children = 0;
+    bool root_is_articulation = false;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& neighbors = g_.Neighbors(frame.node);
+      if (frame.next_neighbor < neighbors.size()) {
+        const NodeId next = neighbors[frame.next_neighbor++];
+        if (frame.has_parent && next == frame.parent) continue;
+        auto it = disc_.find(next);
+        if (it == disc_.end()) {
+          // Tree edge: descend.
+          edge_stack_.push_back(Edge::Of(frame.node, next));
+          disc_[next] = low_[next] = timer_++;
+          if (frame.node == root) ++root_children;
+          stack.push_back(Frame{next, frame.node, true, 0});
+        } else if (it->second < disc_[frame.node]) {
+          // Back edge to an ancestor.
+          edge_stack_.push_back(Edge::Of(frame.node, next));
+          low_[frame.node] = std::min(low_[frame.node], it->second);
+        }
+      } else {
+        // Finished `frame.node`; propagate low-link to the parent and close
+        // the component if the parent is a cut point for this subtree.
+        const NodeId child = frame.node;
+        const bool child_has_parent = frame.has_parent;
+        const NodeId parent = frame.parent;
+        stack.pop_back();
+        if (!child_has_parent) continue;
+        low_[parent] = std::min(low_[parent], low_[child]);
+        if (low_[child] >= disc_[parent]) {
+          // parent is an articulation point (for non-root parents).
+          if (parent != root) {
+            result_.articulation_points.push_back(parent);
+            seen_articulation_.insert(parent);
+          } else if (root_children > 1) {
+            root_is_articulation = true;
+          }
+          // Pop the component's edges.
+          std::vector<Edge> component;
+          const Edge boundary = Edge::Of(parent, child);
+          while (true) {
+            SCPRT_DCHECK(!edge_stack_.empty());
+            Edge e = edge_stack_.back();
+            edge_stack_.pop_back();
+            component.push_back(e);
+            if (e == boundary) break;
+          }
+          result_.components.push_back(std::move(component));
+        }
+      }
+    }
+    if (root_is_articulation && !seen_articulation_.count(root)) {
+      result_.articulation_points.push_back(root);
+      seen_articulation_.insert(root);
+    }
+    // Any leftover edges (possible when the root closes exactly at its last
+    // child) belong to one final component.
+    if (!edge_stack_.empty()) {
+      result_.components.push_back(std::move(edge_stack_));
+      edge_stack_.clear();
+    }
+  }
+
+  const DynamicGraph& g_;
+  BccResult result_;
+  std::unordered_map<NodeId, int> disc_;
+  std::unordered_map<NodeId, int> low_;
+  std::unordered_set<NodeId> seen_articulation_;
+  std::vector<Edge> edge_stack_;
+  int timer_ = 0;
+};
+
+// De-duplicates articulation points discovered once per closing child.
+void DedupArticulations(std::vector<NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+BccResult BiconnectedComponents(const DynamicGraph& g) {
+  BccSolver solver(g);
+  BccResult result = solver.Run();
+  DedupArticulations(result.articulation_points);
+  return result;
+}
+
+bool IsBiconnectedEdgeSet(const std::vector<Edge>& edges) {
+  if (edges.size() < 2) return false;
+  DynamicGraph g;
+  for (const Edge& e : edges) g.AddEdge(e.u, e.v);
+  BccResult result = BiconnectedComponents(g);
+  return result.components.size() == 1 &&
+         result.components[0].size() == edges.size();
+}
+
+}  // namespace scprt::graph

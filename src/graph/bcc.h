@@ -1,0 +1,36 @@
+// Biconnected components and articulation points (Hopcroft-Tarjan),
+// iterative so deep graphs cannot overflow the stack.
+//
+// Used by (1) the offline baseline of Section 7.3 (Bansal et al.-style BC
+// clustering recomputed per quantum) and (2) the test suite's verification
+// of Theorem 2 (clusters discovered via SCP are biconnected).
+
+#ifndef SCPRT_GRAPH_BCC_H_
+#define SCPRT_GRAPH_BCC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::graph {
+
+/// Result of a biconnected decomposition.
+struct BccResult {
+  /// Edge sets of the biconnected components. Every graph edge appears in
+  /// exactly one component; bridge edges form components of size 1.
+  std::vector<std::vector<Edge>> components;
+  /// Articulation points (cut vertices), sorted ascending.
+  std::vector<NodeId> articulation_points;
+};
+
+/// Decomposes `g` into biconnected components.
+BccResult BiconnectedComponents(const DynamicGraph& g);
+
+/// True if the subgraph induced by `edges` is biconnected (one biconnected
+/// component spanning all its nodes, no articulation point). Singleton edge
+/// sets are not biconnected (a K2 has no two independent paths).
+bool IsBiconnectedEdgeSet(const std::vector<Edge>& edges);
+
+}  // namespace scprt::graph
+
+#endif  // SCPRT_GRAPH_BCC_H_

@@ -1,0 +1,40 @@
+// Short-cycle queries — the primitive underlying the paper's Short Cycle
+// Property (Section 4.1): an edge (u, v) satisfies SCP if besides the edge
+// there is another path of length <= 3 between u and v, i.e., the edge lies
+// on a cycle of length 3 or 4.
+
+#ifndef SCPRT_GRAPH_SHORT_CYCLE_H_
+#define SCPRT_GRAPH_SHORT_CYCLE_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scprt::graph {
+
+/// A cycle of length 3 or 4. For triangles, nodes[3] == kInvalidKeyword.
+struct ShortCycle {
+  std::array<NodeId, 4> nodes;
+  int length;  // 3 or 4
+
+  /// The cycle's edges in normalized form (3 or 4 of them).
+  std::vector<Edge> CycleEdges() const;
+};
+
+/// True if edge {u, v} (which must exist) lies on a cycle of length <= 4.
+/// Cost O(deg(u) * deg(v)).
+bool EdgeOnShortCycle(const DynamicGraph& g, NodeId u, NodeId v);
+
+/// All short cycles through edge {u, v}. Triangles are emitted once; each
+/// 4-cycle once (the two internal orientations are canonicalized). Cost
+/// O(deg(u) * deg(v) * log deg).
+std::vector<ShortCycle> ShortCyclesThroughEdge(const DynamicGraph& g,
+                                               NodeId u, NodeId v);
+
+/// All short cycles of the whole graph, each exactly once.
+std::vector<ShortCycle> AllShortCycles(const DynamicGraph& g);
+
+}  // namespace scprt::graph
+
+#endif  // SCPRT_GRAPH_SHORT_CYCLE_H_

@@ -1,0 +1,49 @@
+#include "rank/rank_tracker.h"
+
+#include "common/check.h"
+
+namespace scprt::rank {
+
+RankTracker::RankTracker(std::size_t min_observations,
+                         std::size_t max_history)
+    : min_observations_(min_observations), max_history_(max_history) {
+  SCPRT_CHECK(min_observations >= 2);
+  SCPRT_CHECK(max_history >= min_observations);
+}
+
+void RankTracker::Observe(ClusterId id, const RankObservation& obs) {
+  auto& h = history_[id];
+  h.push_back(obs);
+  if (h.size() > max_history_) h.pop_front();
+}
+
+bool RankTracker::IsLikelySpurious(ClusterId id) const {
+  auto it = history_.find(id);
+  if (it == history_.end()) return false;
+  const auto& h = it->second;
+  if (h.size() < min_observations_) return false;
+  bool grew = false;
+  bool rank_rose = false;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    if (h[i].node_count > h.front().node_count) grew = true;
+    if (h[i].rank > h[i - 1].rank) rank_rose = true;
+  }
+  return !grew && !rank_rose;
+}
+
+void RankTracker::Forget(ClusterId id) { history_.erase(id); }
+
+std::vector<ClusterId> RankTracker::TrackedIds() const {
+  std::vector<ClusterId> ids;
+  ids.reserve(history_.size());
+  for (const auto& [id, _] : history_) ids.push_back(id);
+  return ids;
+}
+
+const std::deque<RankObservation>* RankTracker::HistoryOf(
+    ClusterId id) const {
+  auto it = history_.find(id);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+}  // namespace scprt::rank

@@ -1,0 +1,41 @@
+// The paper's rank function (Section 6): rank(C) = W . C . 1^T / n, where
+// W is the 1-by-n vector of node weights (distinct supporting users per
+// keyword), C the n-by-n edge-correlation matrix with unit diagonal, zero
+// for non-edges and EC_ij for cluster edges. Expanding:
+//
+//   rank = (1/n) * [ sum_i w_i  +  sum_{(i,j) in E} (w_i + w_j) * EC_ij ]
+//
+// so stronger correlation, higher density and bigger support all raise the
+// rank, while the 1/n normalization stops rank from growing monotonically
+// with cluster size. Everything is local to the cluster — no global state.
+
+#ifndef SCPRT_RANK_RANKING_H_
+#define SCPRT_RANK_RANKING_H_
+
+#include <functional>
+
+#include "cluster/cluster.h"
+
+namespace scprt::rank {
+
+/// Provider of the current EC of an edge (AkgBuilder::EdgeCorrelation).
+using EcFn = std::function<double(const graph::Edge&)>;
+/// Provider of a node's weight w_i (AkgBuilder::NodeWeight).
+using WeightFn = std::function<double(graph::NodeId)>;
+
+/// Computes the rank of `cluster`. O(nodes + edges).
+double ClusterRank(const cluster::Cluster& cluster, const EcFn& ec,
+                   const WeightFn& weight);
+
+/// The minimum rank a just-qualifying cluster can have: every node at the
+/// burstiness floor theta, every edge at the EC floor gamma, and the
+/// sparsest SCP-satisfying density (one short cycle per edge, ~n edges):
+/// rank_min = theta * (1 + 2 * gamma). The paper filters reported events
+/// below a threshold that is "a function of the minimum rank that a cluster
+/// of size N can have" (Section 7.2.2); `margin` scales the floor.
+double MinRankThreshold(std::uint32_t high_state_threshold,
+                        double ec_threshold, double margin = 1.0);
+
+}  // namespace scprt::rank
+
+#endif  // SCPRT_RANK_RANKING_H_

@@ -1,0 +1,35 @@
+#include "stream/event_script.h"
+
+namespace scprt::stream {
+
+double PlantedEvent::IntensityAt(std::uint64_t offset) const {
+  if (duration == 0 || offset >= duration) return 0.0;
+  const double t = static_cast<double>(offset) / static_cast<double>(duration);
+  switch (shape) {
+    case EventShape::kTrapezoid: {
+      if (t < 0.25) return t / 0.25;
+      if (t > 0.75) return (1.0 - t) / 0.25;
+      return 1.0;
+    }
+    case EventShape::kBurstThenDie:
+      return t < 0.25 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+std::size_t EventScript::real_event_count() const {
+  std::size_t n = 0;
+  for (const PlantedEvent& e : events) {
+    if (!e.spurious) ++n;
+  }
+  return n;
+}
+
+const PlantedEvent* EventScript::Find(std::int32_t id) const {
+  for (const PlantedEvent& e : events) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace scprt::stream

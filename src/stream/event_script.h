@@ -1,0 +1,75 @@
+// Ground-truth description of planted events in a synthetic trace.
+//
+// This replaces the paper's external ground truth (Google News headlines,
+// Section 7.1) with an exact oracle: the generator records what it planted,
+// and the evaluator matches discovered clusters against it.
+
+#ifndef SCPRT_STREAM_EVENT_SCRIPT_H_
+#define SCPRT_STREAM_EVENT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::stream {
+
+/// Temporal intensity profile of an event over its lifetime.
+enum class EventShape {
+  /// Build-up, plateau, wind-down — the paper observes real events have a
+  /// build-up and wind-down phase (Section 7.2.2).
+  kTrapezoid,
+  /// Instant burst that then dies — the paper's signature of spurious events
+  /// (ads, rumors).
+  kBurstThenDie,
+};
+
+/// One planted event.
+struct PlantedEvent {
+  /// Dense event id; messages carry it as Message::event_id.
+  std::int32_t id = 0;
+  /// Human-readable headline, e.g. "earthquake struck eastern turkey".
+  std::string headline;
+  /// Core keywords used by event messages from the start.
+  std::vector<KeywordId> keywords;
+  /// Keywords that join mid-life (the "5.9" of Figure 1): revealed after
+  /// `evolution_offset` messages of the event have been emitted.
+  std::vector<KeywordId> late_keywords;
+  /// First message sequence number at which the event may emit.
+  std::uint64_t start_seq = 0;
+  /// Event lifetime in messages of the overall stream.
+  std::uint64_t duration = 0;
+  /// Peak expected share of the stream during the plateau, in (0, 1).
+  double peak_share = 0.05;
+  /// Shape of the intensity profile.
+  EventShape shape = EventShape::kTrapezoid;
+  /// True for planted non-events (ads/rumors); these count against precision
+  /// when reported and never count toward recall.
+  bool spurious = false;
+  /// Users who tweet about this event (sampled once; adoption grows over the
+  /// build-up phase).
+  std::vector<UserId> user_pool;
+  /// Messages of this event after which `late_keywords` activate.
+  std::uint64_t evolution_offset = 0;
+
+  /// Relative intensity in [0,1] at `offset` messages since start_seq.
+  /// Trapezoid: linear ramp over the first and last quarter; burst: full for
+  /// the first quarter, then zero.
+  double IntensityAt(std::uint64_t offset) const;
+};
+
+/// The full script for one generated trace.
+struct EventScript {
+  std::vector<PlantedEvent> events;
+
+  /// Number of non-spurious events (the recall denominator).
+  std::size_t real_event_count() const;
+
+  /// Returns the event with `id`, or nullptr.
+  const PlantedEvent* Find(std::int32_t id) const;
+};
+
+}  // namespace scprt::stream
+
+#endif  // SCPRT_STREAM_EVENT_SCRIPT_H_

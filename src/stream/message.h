@@ -1,0 +1,41 @@
+// The unit of input: one microblog message, already tokenized and interned.
+
+#ifndef SCPRT_STREAM_MESSAGE_H_
+#define SCPRT_STREAM_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::stream {
+
+/// Ground-truth label constant: the message is background chatter, not part
+/// of any planted event.
+inline constexpr std::int32_t kBackground = -1;
+
+/// One message of the stream. Keywords are de-duplicated, stop-word-free
+/// KeywordIds (order irrelevant to the algorithm).
+struct Message {
+  /// Author. The paper correlates keywords by *user* id, not message id, to
+  /// resist a single user flooding duplicates (Section 3.2).
+  UserId user = 0;
+  /// Global arrival sequence number (0-based).
+  std::uint64_t seq = 0;
+  /// Ground-truth event label; kBackground when not planted. Only the
+  /// evaluation harness reads this — the detector never does.
+  std::int32_t event_id = kBackground;
+  /// Interned keywords, de-duplicated.
+  std::vector<KeywordId> keywords;
+};
+
+/// A quantum: the batch of messages that arrives in one unit of time "τ".
+/// The paper's experiments size quanta by message count (δ = 80..800).
+struct Quantum {
+  QuantumIndex index = 0;
+  std::vector<Message> messages;
+};
+
+}  // namespace scprt::stream
+
+#endif  // SCPRT_STREAM_MESSAGE_H_

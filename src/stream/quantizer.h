@@ -1,0 +1,56 @@
+// Groups an ordered message stream into fixed-size quanta.
+
+#ifndef SCPRT_STREAM_QUANTIZER_H_
+#define SCPRT_STREAM_QUANTIZER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "stream/message.h"
+
+namespace scprt::stream {
+
+/// Accumulates messages and emits a Quantum every `quantum_size` messages
+/// (the paper's δ). Push-based so it composes with live sources.
+class Quantizer {
+ public:
+  /// `quantum_size` must be >= 1.
+  explicit Quantizer(std::size_t quantum_size);
+
+  /// Adds one message. Returns a completed quantum when this message filled
+  /// it, otherwise nullopt.
+  std::optional<Quantum> Push(Message message);
+
+  /// Flushes a trailing partial quantum (end of trace). Returns nullopt when
+  /// nothing is pending.
+  std::optional<Quantum> Flush();
+
+  /// Index the next emitted quantum will carry.
+  QuantumIndex next_index() const { return next_index_; }
+
+  /// Messages accumulated toward the next quantum (checkpointing).
+  const std::vector<Message>& pending() const { return pending_; }
+
+  /// Re-bases the next quantum index (checkpoint restore: replayed quanta
+  /// bypass the quantizer, which must continue after them).
+  void SetNextIndex(QuantumIndex index) { next_index_ = index; }
+
+  /// Configured δ.
+  std::size_t quantum_size() const { return quantum_size_; }
+
+ private:
+  std::size_t quantum_size_;
+  QuantumIndex next_index_ = 0;
+  std::vector<Message> pending_;
+};
+
+/// Convenience: splits a whole trace into quanta of `quantum_size`,
+/// including a trailing partial quantum when `keep_partial` is set.
+std::vector<Quantum> SplitIntoQuanta(const std::vector<Message>& trace,
+                                     std::size_t quantum_size,
+                                     bool keep_partial = false);
+
+}  // namespace scprt::stream
+
+#endif  // SCPRT_STREAM_QUANTIZER_H_

@@ -1,0 +1,24 @@
+#include "stream/sliding_window.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scprt::stream {
+
+SlidingWindow::SlidingWindow(std::size_t window_length)
+    : window_length_(window_length) {
+  SCPRT_CHECK(window_length >= 1);
+}
+
+std::optional<Quantum> SlidingWindow::Push(Quantum quantum) {
+  message_count_ += quantum.messages.size();
+  quanta_.push_back(std::move(quantum));
+  if (quanta_.size() <= window_length_) return std::nullopt;
+  Quantum evicted = std::move(quanta_.front());
+  quanta_.pop_front();
+  message_count_ -= evicted.messages.size();
+  return evicted;
+}
+
+}  // namespace scprt::stream

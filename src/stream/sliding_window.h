@@ -1,0 +1,48 @@
+// The moving window of the most recent w quanta (paper Section 1.1: the
+// window spans (t - τ·w, t] and slides forward one quantum at a time).
+
+#ifndef SCPRT_STREAM_SLIDING_WINDOW_H_
+#define SCPRT_STREAM_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "stream/message.h"
+
+namespace scprt::stream {
+
+/// FIFO of the last `w` quanta. Pushing quantum t evicts quantum t-w (the
+/// "oldest messages expire" step that drives node/edge deletions upstream).
+class SlidingWindow {
+ public:
+  /// `window_length` is the paper's w (in quanta), >= 1.
+  explicit SlidingWindow(std::size_t window_length);
+
+  /// Appends a quantum; returns the evicted quantum once the window is full.
+  std::optional<Quantum> Push(Quantum quantum);
+
+  /// Quanta currently inside the window, oldest first.
+  const std::deque<Quantum>& quanta() const { return quanta_; }
+
+  /// Number of quanta currently held (< window_length during warm-up).
+  std::size_t size() const { return quanta_.size(); }
+
+  /// Configured w.
+  std::size_t window_length() const { return window_length_; }
+
+  /// True once the window holds w quanta.
+  bool full() const { return quanta_.size() == window_length_; }
+
+  /// Total messages across held quanta.
+  std::size_t message_count() const { return message_count_; }
+
+ private:
+  std::size_t window_length_;
+  std::size_t message_count_ = 0;
+  std::deque<Quantum> quanta_;
+};
+
+}  // namespace scprt::stream
+
+#endif  // SCPRT_STREAM_SLIDING_WINDOW_H_

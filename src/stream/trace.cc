@@ -1,0 +1,139 @@
+#include "stream/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scprt::stream {
+
+namespace {
+
+constexpr char kMagic[] = "scprt-trace";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+bool WriteTrace(const SyntheticTrace& trace, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "# keywords: " << trace.dictionary.size()
+      << " messages: " << trace.messages.size()
+      << " events: " << trace.script.events.size() << '\n';
+  for (KeywordId id = 0; id < trace.dictionary.size(); ++id) {
+    out << "V " << id << ' ' << (trace.dictionary.IsNoun(id) ? 1 : 0) << ' '
+        << trace.dictionary.Spelling(id) << '\n';
+  }
+  for (const PlantedEvent& e : trace.script.events) {
+    out << "E " << e.id << ' ' << (e.spurious ? 1 : 0) << ' '
+        << (e.shape == EventShape::kBurstThenDie ? 1 : 0) << ' '
+        << e.start_seq << ' ' << e.duration << ' ' << e.peak_share << ' '
+        << e.evolution_offset << ' ' << e.headline << '\n';
+    out << "EK " << e.id;
+    for (KeywordId k : e.keywords) out << ' ' << k;
+    out << '\n';
+    out << "EL " << e.id;
+    for (KeywordId k : e.late_keywords) out << ' ' << k;
+    out << '\n';
+    out << "EU " << e.id;
+    for (UserId u : e.user_pool) out << ' ' << u;
+    out << '\n';
+  }
+  for (const Message& m : trace.messages) {
+    out << "M " << m.seq << ' ' << m.user << ' ' << m.event_id;
+    for (KeywordId k : m.keywords) out << ' ' << k;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteTraceFile(const SyntheticTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return WriteTrace(trace, out);
+}
+
+bool ReadTrace(std::istream& in, SyntheticTrace& trace) {
+  trace.messages.clear();
+  trace.script.events.clear();
+  trace.dictionary = text::KeywordDictionary();
+
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) return false;
+  }
+
+  auto find_event = [&trace](std::int32_t id) -> PlantedEvent* {
+    for (PlantedEvent& e : trace.script.events) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "V") {
+      KeywordId id;
+      int noun;
+      std::string spelling;
+      if (!(ls >> id >> noun)) return false;
+      ls >> std::ws;
+      std::getline(ls, spelling);
+      if (spelling.empty()) return false;
+      const KeywordId got = trace.dictionary.Intern(spelling);
+      if (got != id) return false;  // ids must be dense and in order
+      trace.dictionary.SetNoun(got, noun != 0);
+    } else if (tag == "E") {
+      PlantedEvent e;
+      int spurious = 0;
+      int shape = 0;
+      if (!(ls >> e.id >> spurious >> shape >> e.start_seq >> e.duration >>
+            e.peak_share >> e.evolution_offset)) {
+        return false;
+      }
+      e.spurious = spurious != 0;
+      e.shape = shape != 0 ? EventShape::kBurstThenDie
+                           : EventShape::kTrapezoid;
+      ls >> std::ws;
+      std::getline(ls, e.headline);
+      trace.script.events.push_back(std::move(e));
+    } else if (tag == "EK" || tag == "EL" || tag == "EU") {
+      std::int32_t id;
+      if (!(ls >> id)) return false;
+      PlantedEvent* e = find_event(id);
+      if (e == nullptr) return false;
+      if (tag == "EU") {
+        UserId u;
+        while (ls >> u) e->user_pool.push_back(u);
+      } else {
+        KeywordId k;
+        auto& dst = (tag == "EK") ? e->keywords : e->late_keywords;
+        while (ls >> k) dst.push_back(k);
+      }
+    } else if (tag == "M") {
+      Message m;
+      if (!(ls >> m.seq >> m.user >> m.event_id)) return false;
+      KeywordId k;
+      while (ls >> k) m.keywords.push_back(k);
+      trace.messages.push_back(std::move(m));
+    } else {
+      return false;  // unknown tag
+    }
+  }
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, SyntheticTrace& trace) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return ReadTrace(in, trace);
+}
+
+}  // namespace scprt::stream

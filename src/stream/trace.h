@@ -1,0 +1,38 @@
+// Text serialization of traces (messages + dictionary + ground-truth
+// script), so generated workloads can be saved, inspected and replayed.
+//
+// Format (line-oriented, '#' comments):
+//   scprt-trace 1
+//   V <id> <noun:0|1> <spelling>
+//   E <id> <spurious:0|1> <shape:0|1> <start> <duration> <peak> <evo> <headline>
+//   EK <event-id> <kw-id>...        (core keywords)
+//   EL <event-id> <kw-id>...        (late keywords)
+//   EU <event-id> <user-id>...      (user pool)
+//   M <seq> <user> <event-id> <kw-id>...
+
+#ifndef SCPRT_STREAM_TRACE_H_
+#define SCPRT_STREAM_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "stream/synthetic.h"
+
+namespace scprt::stream {
+
+/// Writes `trace` to `out`. Returns false on stream failure.
+bool WriteTrace(const SyntheticTrace& trace, std::ostream& out);
+
+/// Writes `trace` to `path`. Returns false on I/O failure.
+bool WriteTraceFile(const SyntheticTrace& trace, const std::string& path);
+
+/// Parses a trace from `in`. Returns false on malformed input; on failure
+/// `trace` is left in an unspecified state.
+bool ReadTrace(std::istream& in, SyntheticTrace& trace);
+
+/// Reads a trace from `path`.
+bool ReadTraceFile(const std::string& path, SyntheticTrace& trace);
+
+}  // namespace scprt::stream
+
+#endif  // SCPRT_STREAM_TRACE_H_

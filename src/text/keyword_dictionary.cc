@@ -1,0 +1,38 @@
+#include "text/keyword_dictionary.h"
+
+#include "common/check.h"
+#include "text/pos_tagger.h"
+
+namespace scprt::text {
+
+KeywordId KeywordDictionary::Intern(std::string_view keyword) {
+  auto it = index_.find(std::string(keyword));
+  if (it != index_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(spellings_.size());
+  spellings_.emplace_back(keyword);
+  is_noun_.push_back(IsLikelyNoun(keyword));
+  index_.emplace(spellings_.back(), id);
+  return id;
+}
+
+KeywordId KeywordDictionary::Lookup(std::string_view keyword) const {
+  auto it = index_.find(std::string(keyword));
+  return it == index_.end() ? kInvalidKeyword : it->second;
+}
+
+const std::string& KeywordDictionary::Spelling(KeywordId id) const {
+  SCPRT_CHECK(id < spellings_.size());
+  return spellings_[id];
+}
+
+bool KeywordDictionary::IsNoun(KeywordId id) const {
+  SCPRT_CHECK(id < is_noun_.size());
+  return is_noun_[id];
+}
+
+void KeywordDictionary::SetNoun(KeywordId id, bool is_noun) {
+  SCPRT_CHECK(id < is_noun_.size());
+  is_noun_[id] = is_noun;
+}
+
+}  // namespace scprt::text

@@ -1,0 +1,57 @@
+// Bidirectional keyword string <-> KeywordId interner with per-keyword
+// metadata (noun flag used by the precision filter of Section 7.2.2).
+
+#ifndef SCPRT_TEXT_KEYWORD_DICTIONARY_H_
+#define SCPRT_TEXT_KEYWORD_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace scprt::text {
+
+/// Interns keyword strings to dense KeywordIds. Ids are assigned in first-
+/// arrival order and never recycled; the dictionary grows for the lifetime of
+/// the stream (vocabulary is far smaller than the message count).
+class KeywordDictionary {
+ public:
+  KeywordDictionary() = default;
+
+  // Movable but not copyable: holds the authoritative id space.
+  KeywordDictionary(KeywordDictionary&&) = default;
+  KeywordDictionary& operator=(KeywordDictionary&&) = default;
+  KeywordDictionary(const KeywordDictionary&) = delete;
+  KeywordDictionary& operator=(const KeywordDictionary&) = delete;
+
+  /// Returns the id of `keyword`, interning it if new. The noun flag of a
+  /// new entry is initialized from text::IsLikelyNoun.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Returns the id of `keyword` or kInvalidKeyword if never interned.
+  KeywordId Lookup(std::string_view keyword) const;
+
+  /// String for an id. Id must be valid.
+  const std::string& Spelling(KeywordId id) const;
+
+  /// True if keyword `id` is tagged as a noun.
+  bool IsNoun(KeywordId id) const;
+
+  /// Overrides the noun tag (used by the synthetic generator, which knows
+  /// each planted keyword's part of speech exactly).
+  void SetNoun(KeywordId id, bool is_noun);
+
+  /// Number of interned keywords; ids are [0, size).
+  std::size_t size() const { return spellings_.size(); }
+
+ private:
+  std::unordered_map<std::string, KeywordId> index_;
+  std::vector<std::string> spellings_;
+  std::vector<bool> is_noun_;
+};
+
+}  // namespace scprt::text
+
+#endif  // SCPRT_TEXT_KEYWORD_DICTIONARY_H_

@@ -1,0 +1,54 @@
+#include "text/pos_tagger.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+
+namespace scprt::text {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Closed-class non-nouns that survive the stop list.
+const std::unordered_set<std::string>& NonNounSet() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "said",  "says",   "told",   "made",  "make",  "makes", "take",
+      "takes", "took",   "come",   "comes", "came",  "want",  "wants",
+      "know",  "knows",  "think",  "thinks", "see",  "seen",  "look",
+      "looks", "watch",  "new",    "old",   "big",   "small", "good",
+      "bad",   "best",   "worst",  "many",  "still", "also",  "even",
+      "back",  "away",   "never",  "always", "today", "tomorrow",
+      "massive", "moderate", "huge", "awesome", "great",
+  };
+  return set;
+}
+
+}  // namespace
+
+bool IsLikelyNoun(std::string_view token) {
+  if (token.empty()) return false;
+  // Hashtags and mentions name entities.
+  if (token.front() == '#' || token.front() == '@') return true;
+  // Numerics ("5.9") quantify events; treat as noun-like for the filter.
+  if (std::isdigit(static_cast<unsigned char>(token.front()))) return true;
+  if (NonNounSet().count(std::string(token))) return false;
+  // Suffix heuristics for verbs/adjectives/adverbs. "-ing"/"-ed" forms are
+  // mostly verbal in microblog text; "-ly" adverbs; "-ous"/"-ful"/"-ive"
+  // adjectives. Everything else defaults to noun (recall-oriented, matching
+  // the paper's "at least one noun" premise).
+  static constexpr std::string_view kNonNounSuffixes[] = {
+      "ing", "ed", "ly", "ous", "ful", "ive", "est",
+  };
+  for (std::string_view suffix : kNonNounSuffixes) {
+    if (token.size() > suffix.size() + 2 && EndsWith(token, suffix)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scprt::text

@@ -1,0 +1,24 @@
+// Heuristic noun detection.
+//
+// The paper's precision protocol (Section 7.2.2) keeps only clusters that
+// contain at least one noun, using the Stanford POS tagger. A full statistical
+// tagger is out of scope (and unnecessary: only the binary noun/non-noun
+// decision feeds the filter), so we ship a deterministic heuristic: a token is
+// considered a noun unless it matches common verb/adjective/adverb suffix
+// patterns or a closed-class word list. Synthetic vocabularies bypass the
+// heuristic entirely by tagging keywords at generation time
+// (KeywordDictionary::SetNoun).
+
+#ifndef SCPRT_TEXT_POS_TAGGER_H_
+#define SCPRT_TEXT_POS_TAGGER_H_
+
+#include <string_view>
+
+namespace scprt::text {
+
+/// Returns true if the (lower-cased) token is likely a noun.
+bool IsLikelyNoun(std::string_view token);
+
+}  // namespace scprt::text
+
+#endif  // SCPRT_TEXT_POS_TAGGER_H_

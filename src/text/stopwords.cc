@@ -1,0 +1,67 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace scprt::text {
+
+namespace {
+
+// Classic English stop list (Snowball-derived) extended with microblog
+// filler tokens. Kept sorted per initial letter for reviewability.
+const char* const kStopWords[] = {
+    "a", "about", "above", "after", "again", "against", "ain", "all", "am",
+    "an", "and", "any", "are", "aren", "aren't", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by",
+    "can", "cannot", "could", "couldn", "couldn't",
+    "did", "didn", "didn't", "do", "does", "doesn", "doesn't", "doing",
+    "don", "don't", "down", "during",
+    "each", "either", "else", "ever", "every",
+    "few", "for", "from", "further",
+    "get", "gets", "getting", "go", "goes", "going", "gonna", "got",
+    "had", "hadn", "hadn't", "has", "hasn", "hasn't", "have", "haven",
+    "haven't", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how",
+    "i", "if", "in", "into", "is", "isn", "isn't", "it", "it's", "its",
+    "itself", "i'm", "i've", "i'll", "i'd",
+    "just",
+    "let", "like", "ll",
+    "ma", "me", "might", "mightn", "more", "most", "much", "must", "mustn",
+    "my", "myself",
+    "need", "needn", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "one", "only", "or", "other", "our", "ours",
+    "ourselves", "out", "over", "own",
+    "re", "really",
+    "same", "shan", "she", "should", "shouldn", "shouldn't", "so", "some",
+    "such",
+    "than", "that", "that's", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "these", "they", "this", "those", "through", "to",
+    "too",
+    "under", "until", "up", "us",
+    "ve", "very",
+    "was", "wasn", "wasn't", "we", "were", "weren", "weren't", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with",
+    "won", "won't", "would", "wouldn", "wouldn't",
+    "you", "your", "yours", "yourself", "yourselves", "you're", "you've",
+    // Microblog filler:
+    "rt", "amp", "via", "lol", "omg", "yeah", "yes", "ok", "okay", "pls",
+    "plz", "u", "ur", "im", "dont", "cant", "wont", "thats", "gotta",
+    "wanna", "hey", "hi", "oh", "ah", "wow", "haha", "hahaha",
+};
+
+const std::unordered_set<std::string>& StopSet() {
+  static const auto& set = *new std::unordered_set<std::string>(
+      std::begin(kStopWords), std::end(kStopWords));
+  return set;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view token) {
+  return StopSet().count(std::string(token)) > 0;
+}
+
+std::size_t StopWordCount() { return StopSet().size(); }
+
+}  // namespace scprt::text

@@ -1,0 +1,20 @@
+// English stop-word filtering (Section 1.1: keywords are message tokens
+// "after removing stop words").
+
+#ifndef SCPRT_TEXT_STOPWORDS_H_
+#define SCPRT_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace scprt::text {
+
+/// Returns true if `token` (already lower-cased) is an English stop word or
+/// a microblog filler token ("rt", "amp", ...). O(1) hash lookup.
+bool IsStopWord(std::string_view token);
+
+/// Number of entries in the built-in stop list (for tests).
+std::size_t StopWordCount();
+
+}  // namespace scprt::text
+
+#endif  // SCPRT_TEXT_STOPWORDS_H_

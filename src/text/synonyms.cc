@@ -1,0 +1,48 @@
+#include "text/synonyms.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace scprt::text {
+
+std::size_t SynonymTable::AddGroup(const std::vector<std::string>& group) {
+  if (group.size() < 2) return 0;
+  const std::string& head = group.front();
+  std::size_t added = 0;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    if (group[i] == head) continue;
+    added += canonical_.emplace(group[i], head).second ? 1 : 0;
+  }
+  return added;
+}
+
+bool SynonymTable::Load(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<std::string> group;
+    std::string word;
+    while (ls >> word) group.push_back(std::move(word));
+    AddGroup(group);
+  }
+  return !in.bad();
+}
+
+bool SynonymTable::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return Load(in);
+}
+
+std::string_view SynonymTable::Canonical(std::string_view word) const {
+  auto it = canonical_.find(std::string(word));
+  return it == canonical_.end() ? word : std::string_view(it->second);
+}
+
+bool SynonymTable::IsAlias(std::string_view word) const {
+  return canonical_.count(std::string(word)) > 0;
+}
+
+}  // namespace scprt::text

@@ -1,0 +1,57 @@
+// Synonym normalization (paper Section 1.1: clusters about the same event
+// may fail to merge because "users used synonymous keywords to describe the
+// event ... All these cases can be addressed by pre-processing the
+// messages"; listed as future work in Section 8).
+//
+// A SynonymTable maps surface forms to a canonical form before interning,
+// so "quake", "earthquake" and "temblor" become one CKG node. Tables load
+// from a simple text format, one group per line:
+//
+//   earthquake quake temblor tremor
+//   # comments and blank lines are ignored
+
+#ifndef SCPRT_TEXT_SYNONYMS_H_
+#define SCPRT_TEXT_SYNONYMS_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace scprt::text {
+
+/// Maps surface forms to canonical spellings. The first word of each group
+/// is the canonical form.
+class SynonymTable {
+ public:
+  SynonymTable() = default;
+
+  /// Adds one synonym group. The first element is canonical. Words already
+  /// mapped keep their earlier mapping (first table wins); returns the
+  /// number of new mappings added.
+  std::size_t AddGroup(const std::vector<std::string>& group);
+
+  /// Parses the text format described above. Returns false on stream error
+  /// (parsed groups up to that point are kept).
+  bool Load(std::istream& in);
+
+  /// Loads from a file path.
+  bool LoadFile(const std::string& path);
+
+  /// Canonical form of `word` (the word itself when unmapped).
+  std::string_view Canonical(std::string_view word) const;
+
+  /// True if the word is a non-canonical member of some group.
+  bool IsAlias(std::string_view word) const;
+
+  /// Number of alias mappings (canonical words are not counted).
+  std::size_t size() const { return canonical_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> canonical_;
+};
+
+}  // namespace scprt::text
+
+#endif  // SCPRT_TEXT_SYNONYMS_H_

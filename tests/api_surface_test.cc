@@ -1,0 +1,125 @@
+// Coverage of remaining public-API surface: report formatting edge cases,
+// graph snapshots/Clear, message conservation through quantizer + window,
+// detector accessors used by checkpointing and the bench harnesses.
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "detect/report.h"
+#include "common/random.h"
+#include "graph/graph.h"
+#include "stream/quantizer.h"
+#include "stream/sliding_window.h"
+
+namespace scprt {
+namespace {
+
+TEST(ReportFormattingTest, UnknownKeywordIdsRenderPlaceholders) {
+  text::KeywordDictionary dict;
+  dict.Intern("known");
+  detect::EventSnapshot snap;
+  snap.keywords = {0, 999};  // 999 never interned
+  snap.rank = 1.5;
+  snap.node_count = 2;
+  const std::string text = detect::FormatEvent(snap, dict);
+  EXPECT_NE(text.find("known"), std::string::npos);
+  EXPECT_NE(text.find("kw999"), std::string::npos);
+}
+
+TEST(ReportFormattingTest, SpuriousTagAndTruncation) {
+  text::KeywordDictionary dict;
+  detect::QuantumReport report;
+  report.quantum = 7;
+  for (int i = 0; i < 15; ++i) {
+    detect::EventSnapshot snap;
+    snap.keywords = {dict.Intern("kw" + std::to_string(i))};
+    snap.likely_spurious = (i == 0);
+    report.events.push_back(std::move(snap));
+  }
+  const std::string text = detect::FormatReport(report, dict, 10);
+  EXPECT_NE(text.find("(spurious?)"), std::string::npos);
+  EXPECT_NE(text.find("..."), std::string::npos);  // truncated at 10
+}
+
+TEST(GraphSurfaceTest, ClearAndSnapshots) {
+  graph::DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddNode(99);
+  EXPECT_EQ(g.Nodes().size(), 4u);
+  EXPECT_EQ(g.Edges().size(), 2u);
+  g.Clear();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.Nodes().empty());
+  // Reusable after Clear.
+  EXPECT_TRUE(g.AddEdge(5, 6));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(StreamConservationTest, QuantizerPlusWindowLoseNothing) {
+  // Every message pushed appears in exactly one emitted quantum, in order.
+  Rng rng(88);
+  const std::size_t delta = 7;
+  stream::Quantizer quantizer(delta);
+  std::vector<stream::Message> emitted;
+  const std::size_t total = 10 * delta + 3;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    stream::Message m;
+    m.seq = i;
+    m.user = static_cast<UserId>(rng.UniformInt(50));
+    if (auto q = quantizer.Push(m)) {
+      for (const auto& qm : q->messages) emitted.push_back(qm);
+    }
+  }
+  EXPECT_EQ(emitted.size(), 10 * delta);
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_EQ(emitted[i].seq, i);
+  }
+  EXPECT_EQ(quantizer.pending().size(), 3u);
+  auto rest = quantizer.Flush();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->messages.front().seq, 10 * delta);
+}
+
+TEST(DetectorAccessorsTest, WindowAndPendingTrackInput) {
+  detect::DetectorConfig config;
+  config.quantum_size = 5;
+  config.akg.window_length = 2;
+  config.checkpoint_retention = 2;
+  detect::EventDetector detector(config, nullptr);
+  stream::Message m;
+  m.user = 1;
+  m.keywords = {1, 2};
+  for (int i = 0; i < 23; ++i) detector.Push(m);
+  // 4 full quanta emitted; retention 2 * w = 4 quanta kept.
+  EXPECT_EQ(detector.window().size(), 4u);
+  EXPECT_EQ(detector.pending_messages().size(), 3u);
+  EXPECT_EQ(detector.window().quanta().back().index, 3);
+}
+
+TEST(DetectorAccessorsTest, NoDictionaryDisablesNounFilter) {
+  detect::DetectorConfig config;
+  config.quantum_size = 6;
+  config.akg.high_state_threshold = 3;
+  config.akg.ec_threshold = 0.3;
+  config.min_rank_margin = 0.0;
+  config.require_noun = true;  // no dictionary -> must be ignored
+  detect::EventDetector detector(config, nullptr);
+  std::vector<stream::Message> msgs;
+  for (UserId u = 0; u < 6; ++u) {
+    stream::Message m;
+    m.user = u;
+    m.keywords = {1, 2, 3};
+    msgs.push_back(std::move(m));
+  }
+  std::optional<detect::QuantumReport> report;
+  for (const auto& m : msgs) {
+    if (auto r = detector.Push(m)) report = r;
+  }
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->events.empty());
+}
+
+}  // namespace
+}  // namespace scprt

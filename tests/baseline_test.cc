@@ -1,0 +1,94 @@
+// Tests for baseline/: offline BC clustering and clustering comparison.
+
+#include <gtest/gtest.h>
+
+#include "baseline/bcc_clustering.h"
+#include "baseline/comparison.h"
+#include "cluster/offline.h"
+
+namespace scprt::baseline {
+namespace {
+
+using graph::DynamicGraph;
+using graph::Edge;
+using graph::NodeId;
+
+TEST(BcClustersTest, TriangleWithTailVariants) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 4);  // bridge
+  const auto without = BcClusters(g, /*include_edge_clusters=*/false);
+  ASSERT_EQ(without.size(), 1u);
+  EXPECT_EQ(without[0].size(), 3u);
+  const auto with = BcClusters(g, /*include_edge_clusters=*/true);
+  EXPECT_EQ(with.size(), 2u);
+}
+
+TEST(BcClustersTest, FiveCycleIsOneBcButNoScpCluster) {
+  // The defining difference: a C5 is biconnected (the baseline reports it)
+  // but has no short cycle (SCP reports nothing).
+  DynamicGraph g;
+  for (NodeId i = 0; i < 5; ++i) g.AddEdge(i, (i + 1) % 5);
+  const auto bc = BcClusters(g, false);
+  ASSERT_EQ(bc.size(), 1u);
+  EXPECT_EQ(bc[0].size(), 5u);
+  EXPECT_TRUE(cluster::OfflineScpClusters(g).empty());
+}
+
+TEST(BcClustersTest, BcMergesWhatScpSeparates) {
+  // Two 4-cliques connected by two disjoint paths of length 3: one BCC but
+  // two SCP clusters (no short cycle crosses the paths).
+  DynamicGraph g;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      g.AddEdge(i, j);
+      g.AddEdge(i + 10, j + 10);
+    }
+  }
+  // Paths 0-20-21-10 and 3-30-31-13.
+  g.AddEdge(0, 20);
+  g.AddEdge(20, 21);
+  g.AddEdge(21, 10);
+  g.AddEdge(3, 30);
+  g.AddEdge(30, 31);
+  g.AddEdge(31, 13);
+  const auto bc = BcClusters(g, false);
+  ASSERT_EQ(bc.size(), 1u);  // everything is 2-connected
+  const auto scp = cluster::OfflineScpClusters(g);
+  EXPECT_EQ(scp.size(), 2u);  // the paths stay out
+}
+
+TEST(ComparisonTest, ClusterNodes) {
+  EXPECT_EQ(ClusterNodes({{3, 1}, {1, 2}}),
+            (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(ComparisonTest, ExactOverlapAndAdditional) {
+  const std::vector<std::vector<Edge>> scp = {
+      {{1, 2}, {2, 3}, {1, 3}},
+      {{5, 6}, {6, 7}, {5, 7}},
+  };
+  const std::vector<std::vector<Edge>> bc = {
+      {{1, 2}, {2, 3}, {1, 3}},      // identical node set
+      {{5, 6}, {6, 7}, {5, 7}, {7, 8}},  // extra node: no exact match
+      {{9, 10}},                     // extra size-2 cluster
+  };
+  const ClusterComparison cmp = CompareClusterings(scp, bc);
+  EXPECT_EQ(cmp.a_count, 2u);
+  EXPECT_EQ(cmp.b_count, 3u);
+  EXPECT_EQ(cmp.exact_overlap, 1u);
+  EXPECT_DOUBLE_EQ(cmp.additional_pct, 50.0);
+  EXPECT_DOUBLE_EQ(cmp.avg_overlap_size, 3.0);
+  EXPECT_DOUBLE_EQ(cmp.avg_non_overlap_size, 3.0);  // (4 + 2) / 2
+}
+
+TEST(ComparisonTest, EmptyInputs) {
+  const ClusterComparison cmp = CompareClusterings({}, {});
+  EXPECT_EQ(cmp.exact_overlap, 0u);
+  EXPECT_DOUBLE_EQ(cmp.additional_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace scprt::baseline

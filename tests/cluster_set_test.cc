@@ -1,0 +1,107 @@
+// Tests for cluster/cluster.h and cluster/cluster_set.h bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_set.h"
+
+namespace scprt::cluster {
+namespace {
+
+TEST(ClusterTest, EdgeInsertEraseTracksDegrees) {
+  Cluster c(1);
+  EXPECT_TRUE(c.InsertEdge(Edge::Of(1, 2)));
+  EXPECT_FALSE(c.InsertEdge(Edge::Of(2, 1)));  // duplicate
+  c.InsertEdge(Edge::Of(2, 3));
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_EQ(c.edge_count(), 2u);
+  EXPECT_EQ(c.DegreeOf(2), 2u);
+  EXPECT_EQ(c.DegreeOf(1), 1u);
+  EXPECT_EQ(c.DegreeOf(9), 0u);
+  EXPECT_TRUE(c.EraseEdge(Edge::Of(1, 2)));
+  EXPECT_FALSE(c.EraseEdge(Edge::Of(1, 2)));
+  EXPECT_FALSE(c.ContainsNode(1));  // node left with its last edge
+  EXPECT_EQ(c.node_count(), 2u);
+}
+
+TEST(ClusterTest, SortedViews) {
+  Cluster c(1);
+  c.InsertEdge(Edge::Of(5, 2));
+  c.InsertEdge(Edge::Of(3, 2));
+  EXPECT_EQ(c.SortedNodes(), (std::vector<graph::NodeId>{2, 3, 5}));
+  EXPECT_EQ(c.SortedEdges(), (std::vector<Edge>{{2, 3}, {2, 5}}));
+}
+
+TEST(ClusterSetTest, CreateAndLookup) {
+  ClusterSet set;
+  const ClusterId id = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.OwnerOf(Edge::Of(1, 2)), id);
+  EXPECT_EQ(set.OwnerOf(Edge::Of(7, 8)), kInvalidCluster);
+  EXPECT_TRUE(set.NodeInAnyCluster(2));
+  EXPECT_FALSE(set.NodeInAnyCluster(9));
+  ASSERT_NE(set.Find(id), nullptr);
+  EXPECT_EQ(set.Find(id)->node_count(), 3u);
+  EXPECT_EQ(set.Find(id + 999), nullptr);
+}
+
+TEST(ClusterSetTest, MergeKeepsLargerAndMovesEdges) {
+  ClusterSet set;
+  const ClusterId small = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  const ClusterId big =
+      set.Create({{5, 6}, {6, 7}, {5, 7}, {6, 8}, {7, 8}});
+  const ClusterId survivor = set.Merge(small, big);
+  EXPECT_EQ(survivor, big);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.OwnerOf(Edge::Of(1, 2)), big);
+  EXPECT_EQ(set.Find(big)->edge_count(), 8u);
+  EXPECT_EQ(set.Find(small), nullptr);
+}
+
+TEST(ClusterSetTest, NodeMembershipAcrossClusters) {
+  ClusterSet set;
+  const ClusterId a = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  const ClusterId b = set.Create({{3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(set.ClusterCountOf(3), 2u);
+  EXPECT_EQ(set.ClusterCountOf(1), 1u);
+  set.Remove(a);
+  EXPECT_EQ(set.ClusterCountOf(3), 1u);
+  EXPECT_TRUE(set.NodeInAnyCluster(3));
+  EXPECT_FALSE(set.NodeInAnyCluster(1));
+  set.Remove(b);
+  EXPECT_FALSE(set.NodeInAnyCluster(3));
+  EXPECT_EQ(set.total_edges(), 0u);
+}
+
+TEST(ClusterSetTest, RemoveEdgeDeletesEmptyCluster) {
+  ClusterSet set;
+  const ClusterId id = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  EXPECT_EQ(set.RemoveEdge(Edge::Of(1, 2)), id);
+  EXPECT_EQ(set.RemoveEdge(Edge::Of(1, 2)), kInvalidCluster);
+  set.RemoveEdge(Edge::Of(2, 3));
+  set.RemoveEdge(Edge::Of(1, 3));
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.NodeInAnyCluster(1));
+}
+
+TEST(ClusterSetTest, AddEdgeToExisting) {
+  ClusterSet set;
+  const ClusterId id = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  set.AddEdgeTo(id, Edge::Of(3, 4));
+  EXPECT_EQ(set.OwnerOf(Edge::Of(3, 4)), id);
+  EXPECT_TRUE(set.NodeInAnyCluster(4));
+  EXPECT_EQ(set.Find(id)->node_count(), 4u);
+}
+
+TEST(ClusterSetTest, MergeMixedNodeRefsStayConsistent) {
+  ClusterSet set;
+  // Two clusters sharing node 3.
+  const ClusterId a = set.Create({{1, 2}, {2, 3}, {1, 3}});
+  const ClusterId b = set.Create({{3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(set.ClusterCountOf(3), 2u);
+  const ClusterId survivor = set.Merge(a, b);
+  EXPECT_EQ(set.ClusterCountOf(3), 1u);
+  EXPECT_EQ(set.Find(survivor)->node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace scprt::cluster

@@ -1,0 +1,142 @@
+// Tests for eval/: ground-truth matching, run metrics, the table printer.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "stream/message.h"
+
+namespace scprt::eval {
+namespace {
+
+stream::EventScript MakeScript() {
+  stream::EventScript script;
+  stream::PlantedEvent real;
+  real.id = 0;
+  real.keywords = {10, 11, 12, 13};
+  real.late_keywords = {14};
+  real.start_seq = 1600;  // quantum 10 at delta=160
+  stream::PlantedEvent spurious;
+  spurious.id = 1;
+  spurious.spurious = true;
+  spurious.keywords = {20, 21, 22};
+  script.events.push_back(real);
+  script.events.push_back(spurious);
+  return script;
+}
+
+TEST(GroundTruthMatcherTest, OwnerLookup) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  EXPECT_EQ(matcher.OwnerOf(10), 0);
+  EXPECT_EQ(matcher.OwnerOf(14), 0);  // late keyword owned too
+  EXPECT_EQ(matcher.OwnerOf(21), 1);
+  EXPECT_EQ(matcher.OwnerOf(999), stream::kBackground);
+}
+
+TEST(GroundTruthMatcherTest, MajorityMatch) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  const auto verdict = matcher.Classify({10, 11, 12, 999});
+  EXPECT_EQ(verdict.event_id, 0);
+  EXPECT_TRUE(verdict.real);
+  EXPECT_DOUBLE_EQ(verdict.purity, 0.75);
+}
+
+TEST(GroundTruthMatcherTest, LowPurityNoMatch) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  const auto verdict = matcher.Classify({10, 997, 998, 999});
+  EXPECT_EQ(verdict.event_id, stream::kBackground);
+  EXPECT_FALSE(verdict.real);
+}
+
+TEST(GroundTruthMatcherTest, SpuriousEventMatchIsNotReal) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  const auto verdict = matcher.Classify({20, 21, 22});
+  EXPECT_EQ(verdict.event_id, 1);
+  EXPECT_FALSE(verdict.real);
+  EXPECT_DOUBLE_EQ(verdict.purity, 1.0);
+}
+
+TEST(GroundTruthMatcherTest, EmptyCluster) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  EXPECT_EQ(matcher.Classify({}).event_id, stream::kBackground);
+}
+
+detect::EventSnapshot Snap(ClusterId id, std::vector<KeywordId> kws,
+                           double rank, bool newly) {
+  detect::EventSnapshot s;
+  s.cluster_id = id;
+  s.keywords = std::move(kws);
+  s.rank = rank;
+  s.node_count = s.keywords.size();
+  s.newly_reported = newly;
+  return s;
+}
+
+TEST(MetricsTest, PrecisionRecallLag) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  std::vector<detect::QuantumReport> reports(2);
+  reports[0].quantum = 12;
+  // Real event reported at quantum 12 (planted start: quantum 10).
+  reports[0].events.push_back(Snap(1, {10, 11, 12}, 20.0, true));
+  // Background junk cluster.
+  reports[0].events.push_back(Snap(2, {900, 901, 902}, 8.0, true));
+  reports[1].quantum = 13;
+  // Same real event again (not newly reported: ignored by metrics).
+  reports[1].events.push_back(Snap(1, {10, 11, 12, 14}, 25.0, false));
+  // The spurious planted burst gets reported.
+  reports[1].events.push_back(Snap(3, {20, 21, 22}, 9.0, true));
+
+  const RunMetrics m = EvaluateRun(reports, matcher, 160);
+  EXPECT_EQ(m.clusters_reported, 3u);
+  EXPECT_EQ(m.real_reports, 1u);
+  EXPECT_EQ(m.events_discovered, 1u);
+  EXPECT_EQ(m.events_planted, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.avg_detection_lag_quanta, 2.0, 1e-9);
+  EXPECT_NEAR(m.avg_rank, (20.0 + 8.0 + 9.0) / 3.0, 1e-9);
+  EXPECT_NEAR(m.avg_cluster_size, 3.0, 1e-9);
+  EXPECT_GT(m.f1, 0.0);
+}
+
+TEST(MetricsTest, EmptyRun) {
+  const auto script = MakeScript();
+  GroundTruthMatcher matcher(script);
+  const RunMetrics m = EvaluateRun({}, matcher, 160);
+  EXPECT_EQ(m.clusters_reported, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"precision", AsciiTable::Num(0.911, 3)});
+  table.AddRow({"recall", AsciiTable::Num(0.935, 3)});
+  table.AddRow({"count", AsciiTable::Int(216)});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("precision"), std::string::npos);
+  EXPECT_NE(s.find("0.911"), std::string::npos);
+  EXPECT_NE(s.find("216"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumFormatting) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(5.0, 0), "5");
+  EXPECT_EQ(AsciiTable::Int(12345), "12345");
+}
+
+}  // namespace
+}  // namespace scprt::eval

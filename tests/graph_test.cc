@@ -1,0 +1,283 @@
+// Tests for graph/: dynamic graph, BCC/articulation points, short cycles.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/bcc.h"
+#include "graph/graph.h"
+#include "graph/short_cycle.h"
+
+namespace scprt::graph {
+namespace {
+
+TEST(EdgeTest, Normalization) {
+  EXPECT_EQ(Edge::Of(3, 1), (Edge{1, 3}));
+  EXPECT_EQ(Edge::Of(1, 3), Edge::Of(3, 1));
+  EXPECT_NE(Edge::Of(1, 2), Edge::Of(1, 3));
+}
+
+TEST(DynamicGraphTest, NodeLifecycle) {
+  DynamicGraph g;
+  EXPECT_TRUE(g.AddNode(1));
+  EXPECT_FALSE(g.AddNode(1));
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_TRUE(g.RemoveNode(1));
+  EXPECT_FALSE(g.RemoveNode(1));
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(DynamicGraphTest, EdgeLifecycle) {
+  DynamicGraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(2, 1));  // duplicate, either orientation
+  EXPECT_FALSE(g.AddEdge(3, 3));  // self-loop
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);  // endpoints auto-created
+  EXPECT_TRUE(g.RemoveEdge(2, 1));
+  EXPECT_FALSE(g.RemoveEdge(1, 2));
+  EXPECT_TRUE(g.HasNode(1));  // endpoints survive
+}
+
+TEST(DynamicGraphTest, RemoveNodeDropsIncidentEdges) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(g.RemoveNode(1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(DynamicGraphTest, NeighborsSorted) {
+  DynamicGraph g;
+  g.AddEdge(5, 9);
+  g.AddEdge(5, 2);
+  g.AddEdge(5, 7);
+  const auto& n = g.Neighbors(5);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+  EXPECT_EQ(g.Degree(5), 3u);
+  EXPECT_EQ(g.Degree(42), 0u);
+}
+
+TEST(DynamicGraphTest, CommonNeighbors) {
+  DynamicGraph g;
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 4);
+  g.AddEdge(1, 5);
+  const auto common = g.CommonNeighbors(1, 2);
+  EXPECT_EQ(common, (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(g.HaveCommonNeighbor(1, 2));
+  EXPECT_TRUE(g.HaveCommonNeighbor(3, 4));   // both adjacent to 1 and 2
+  EXPECT_FALSE(g.HaveCommonNeighbor(5, 2));  // N(5)={1}, N(2)={3,4}
+}
+
+TEST(DynamicGraphTest, EdgesSnapshot) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  auto edges = g.Edges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<Edge>{{1, 2}, {2, 3}}));
+}
+
+// --- BCC ---
+
+TEST(BccTest, TriangleIsOneComponent) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  const BccResult r = BiconnectedComponents(g);
+  ASSERT_EQ(r.components.size(), 1u);
+  EXPECT_EQ(r.components[0].size(), 3u);
+  EXPECT_TRUE(r.articulation_points.empty());
+}
+
+TEST(BccTest, TwoTrianglesSharingVertex) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  const BccResult r = BiconnectedComponents(g);
+  EXPECT_EQ(r.components.size(), 2u);
+  ASSERT_EQ(r.articulation_points.size(), 1u);
+  EXPECT_EQ(r.articulation_points[0], 3u);
+}
+
+TEST(BccTest, BridgeIsItsOwnComponent) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 4);  // bridge
+  const BccResult r = BiconnectedComponents(g);
+  EXPECT_EQ(r.components.size(), 2u);
+  bool found_bridge = false;
+  for (const auto& c : r.components) {
+    if (c.size() == 1) {
+      EXPECT_EQ(c[0], Edge::Of(3, 4));
+      found_bridge = true;
+    }
+  }
+  EXPECT_TRUE(found_bridge);
+}
+
+TEST(BccTest, PathGraphAllBridges) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 5; ++i) g.AddEdge(i, i + 1);
+  const BccResult r = BiconnectedComponents(g);
+  EXPECT_EQ(r.components.size(), 5u);
+  EXPECT_EQ(r.articulation_points, (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(BccTest, DisconnectedGraph) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(10, 11);
+  g.AddEdge(11, 12);
+  g.AddEdge(10, 12);
+  g.AddNode(99);  // isolated
+  const BccResult r = BiconnectedComponents(g);
+  EXPECT_EQ(r.components.size(), 2u);
+  EXPECT_TRUE(r.articulation_points.empty());
+}
+
+TEST(BccTest, EveryEdgeInExactlyOneComponent) {
+  DynamicGraph g;
+  // Figure 6's pre-deletion topology (see maintenance tests).
+  const std::pair<NodeId, NodeId> edges[] = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 11}, {11, 10}, {10, 1},
+      {3, 4}, {4, 5}, {5, 6}, {6, 3}, {6, 7},  {7, 8},   {8, 3},
+      {9, 2}, {9, 4},
+  };
+  for (auto [a, b] : edges) g.AddEdge(a, b);
+  const BccResult r = BiconnectedComponents(g);
+  std::size_t total = 0;
+  for (const auto& c : r.components) total += c.size();
+  EXPECT_EQ(total, g.edge_count());
+}
+
+TEST(BccTest, IsBiconnectedEdgeSet) {
+  EXPECT_TRUE(IsBiconnectedEdgeSet({{1, 2}, {2, 3}, {1, 3}}));
+  EXPECT_TRUE(IsBiconnectedEdgeSet({{1, 2}, {2, 3}, {3, 4}, {1, 4}}));
+  EXPECT_FALSE(IsBiconnectedEdgeSet({{1, 2}}));
+  EXPECT_FALSE(IsBiconnectedEdgeSet({{1, 2}, {2, 3}}));  // path
+  // Two triangles sharing a vertex: not biconnected.
+  EXPECT_FALSE(IsBiconnectedEdgeSet(
+      {{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 5}, {3, 5}}));
+}
+
+// --- Short cycles ---
+
+TEST(ShortCycleTest, TriangleDetected) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  EXPECT_TRUE(EdgeOnShortCycle(g, 1, 2));
+  const auto cycles = ShortCyclesThroughEdge(g, 1, 2);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length, 3);
+}
+
+TEST(ShortCycleTest, FourCycleDetected) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 1);
+  EXPECT_TRUE(EdgeOnShortCycle(g, 1, 2));
+  const auto cycles = ShortCyclesThroughEdge(g, 1, 2);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length, 4);
+  auto edges = cycles[0].CycleEdges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<Edge>{{1, 2}, {1, 4}, {2, 3}, {3, 4}}));
+}
+
+TEST(ShortCycleTest, FiveCycleNotShort) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 5; ++i) g.AddEdge(i, (i + 1) % 5);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_FALSE(EdgeOnShortCycle(g, i, (i + 1) % 5));
+  }
+  EXPECT_TRUE(AllShortCycles(g).empty());
+}
+
+TEST(ShortCycleTest, PathHasNoCycle) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(EdgeOnShortCycle(g, 1, 2));
+  EXPECT_TRUE(ShortCyclesThroughEdge(g, 1, 2).empty());
+}
+
+TEST(ShortCycleTest, K4CycleCount) {
+  DynamicGraph g;
+  const NodeId nodes[] = {1, 2, 3, 4};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.AddEdge(nodes[i], nodes[j]);
+  }
+  // K4 has 4 triangles and 3 four-cycles.
+  const auto cycles = AllShortCycles(g);
+  int triangles = 0, quads = 0;
+  for (const auto& c : cycles) (c.length == 3 ? triangles : quads)++;
+  EXPECT_EQ(triangles, 4);
+  EXPECT_EQ(quads, 3);
+}
+
+TEST(ShortCycleTest, AllShortCyclesNoDuplicates) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 1);
+  const auto cycles = AllShortCycles(g);
+  // Triangle {1,2,3} + 4-cycle 1-2-3-4? edges 1-2,2-3,3-4,4-1: yes.
+  // Triangle {1,3,4}.
+  int triangles = 0, quads = 0;
+  for (const auto& c : cycles) (c.length == 3 ? triangles : quads)++;
+  EXPECT_EQ(triangles, 2);
+  EXPECT_EQ(quads, 1);
+}
+
+TEST(ShortCycleTest, TriangleThroughEdgePerCommonNeighbor) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 4);
+  const auto cycles = ShortCyclesThroughEdge(g, 1, 2);
+  int triangles = 0, quads = 0;
+  for (const auto& c : cycles) (c.length == 3 ? triangles : quads)++;
+  EXPECT_EQ(triangles, 2);  // via common neighbors 3 and 4
+  EXPECT_EQ(quads, 0);      // a 4-cycle through (1,2) would need edge (3,4)
+}
+
+TEST(ShortCycleTest, QuadCountThroughSharedEdge) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  const auto cycles = ShortCyclesThroughEdge(g, 1, 2);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length, 4);
+}
+
+}  // namespace
+}  // namespace scprt::graph

@@ -1,0 +1,298 @@
+// Property tests: randomized edit scripts check the paper's three cluster
+// properties (Section 4.3) —
+//   P1: every cluster satisfies SCP (aMQC),
+//   P2: every cluster is biconnected (Theorem 2),
+//   P3: incremental (local) maintenance agrees with the canonical global
+//       clustering regardless of operation order (Lemmas 2-5, Theorem 3) —
+// plus Theorem 1 (no strict-majority quasi-clique is ever missed).
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/maintenance.h"
+#include "cluster/mqc.h"
+#include "cluster/offline.h"
+#include "cluster/scp.h"
+#include "common/random.h"
+#include "graph/bcc.h"
+#include "graph/short_cycle.h"
+
+namespace scprt::cluster {
+namespace {
+
+using graph::DynamicGraph;
+using graph::Edge;
+using graph::NodeId;
+
+struct ScriptParams {
+  std::uint64_t seed;
+  int num_nodes;
+  int num_ops;
+  double p_add_edge;     // vs remove
+  double p_node_op;      // node-level ops vs edge-level
+};
+
+class RandomScriptTest : public ::testing::TestWithParam<ScriptParams> {};
+
+TEST_P(RandomScriptTest, IncrementalMatchesOfflineAfterEveryOp) {
+  const ScriptParams params = GetParam();
+  Rng rng(params.seed);
+  ScpMaintainer m;
+
+  for (int op = 0; op < params.num_ops; ++op) {
+    const bool node_op = rng.Bernoulli(params.p_node_op);
+    const bool add = rng.Bernoulli(params.p_add_edge);
+    if (node_op && !add) {
+      // Remove a random existing node.
+      const auto nodes = m.graph().Nodes();
+      if (!nodes.empty()) {
+        m.RemoveNode(nodes[rng.UniformInt(nodes.size())]);
+      }
+    } else if (add) {
+      const NodeId a = static_cast<NodeId>(
+          rng.UniformInt(static_cast<std::uint64_t>(params.num_nodes)));
+      const NodeId b = static_cast<NodeId>(
+          rng.UniformInt(static_cast<std::uint64_t>(params.num_nodes)));
+      if (a != b) m.AddEdge(a, b);
+    } else {
+      const auto edges = m.graph().Edges();
+      if (!edges.empty()) {
+        const Edge e = edges[rng.UniformInt(edges.size())];
+        m.RemoveEdge(e.u, e.v);
+      }
+    }
+    // P3: exact agreement with the canonical global computation.
+    ASSERT_EQ(m.CanonicalClusters(), OfflineScpClusters(m.graph()))
+        << "divergence after op " << op << " (seed " << params.seed << ")";
+  }
+  // Full internal validation at the end (stronger, slower).
+  EXPECT_TRUE(m.ValidateInvariants());
+}
+
+TEST_P(RandomScriptTest, ClustersAreBiconnectedAndSatisfyScp) {
+  const ScriptParams params = GetParam();
+  Rng rng(params.seed ^ 0xabcdef);
+  ScpMaintainer m;
+  for (int op = 0; op < params.num_ops; ++op) {
+    const NodeId a = static_cast<NodeId>(
+        rng.UniformInt(static_cast<std::uint64_t>(params.num_nodes)));
+    const NodeId b = static_cast<NodeId>(
+        rng.UniformInt(static_cast<std::uint64_t>(params.num_nodes)));
+    if (a == b) continue;
+    if (rng.Bernoulli(params.p_add_edge)) {
+      m.AddEdge(a, b);
+    } else if (m.graph().HasEdge(a, b)) {
+      m.RemoveEdge(a, b);
+    }
+    for (const auto& [_, cluster] : m.clusters().clusters()) {
+      const auto edges = cluster->SortedEdges();
+      ASSERT_TRUE(EdgeSetSatisfiesScp(edges));            // P1
+      ASSERT_TRUE(graph::IsBiconnectedEdgeSet(edges));    // P2 (Theorem 2)
+      ASSERT_GE(cluster->node_count(), 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EditScripts, RandomScriptTest,
+    ::testing::Values(
+        // Dense small graphs: many merges and splits.
+        ScriptParams{101, 10, 220, 0.60, 0.10},
+        ScriptParams{102, 10, 220, 0.70, 0.15},
+        ScriptParams{103, 14, 260, 0.55, 0.10},
+        // Sparser, larger: articulation-style splits dominate.
+        ScriptParams{104, 24, 300, 0.60, 0.12},
+        ScriptParams{105, 24, 300, 0.50, 0.20},
+        ScriptParams{106, 40, 320, 0.65, 0.10},
+        // Heavy churn: additions and removals balanced.
+        ScriptParams{107, 16, 400, 0.50, 0.25},
+        ScriptParams{108, 30, 400, 0.55, 0.30},
+        ScriptParams{109, 8, 300, 0.65, 0.20},
+        ScriptParams{110, 50, 350, 0.70, 0.05}),
+    [](const ::testing::TestParamInfo<ScriptParams>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// Theorem 1: SCP is necessary for (strict-majority) quasi-cliques, so every
+// MQC's edges are fully covered by SCP clusters — no MQC is missed.
+class MqcCoverageTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MqcCoverageTest, EveryMqcCoveredBySingleCluster) {
+  Rng rng(GetParam());
+  // Random graph on <= 12 nodes with moderate density.
+  DynamicGraph g;
+  ScpMaintainer m;
+  const int n = 8 + static_cast<int>(rng.UniformInt(5));
+  for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
+    for (NodeId b = a + 1; b < static_cast<NodeId>(n); ++b) {
+      if (rng.Bernoulli(0.35)) {
+        g.AddEdge(a, b);
+        m.AddEdge(a, b);
+      }
+    }
+  }
+  for (const auto& mqc : BruteForceMaximalMqcs(g)) {
+    // Collect the MQC's induced edges.
+    std::vector<Edge> mqc_edges;
+    for (std::size_t i = 0; i < mqc.size(); ++i) {
+      for (std::size_t j = i + 1; j < mqc.size(); ++j) {
+        if (g.HasEdge(mqc[i], mqc[j])) {
+          mqc_edges.push_back(Edge::Of(mqc[i], mqc[j]));
+        }
+      }
+    }
+    // Theorem 1: each induced edge lies on a short cycle within the MQC.
+    ASSERT_TRUE(EdgeSetSatisfiesScp(mqc_edges));
+    // Consequence: every MQC edge is owned by a cluster, and since MQC
+    // edges are cycle-connected, they all land in the same cluster.
+    std::unordered_set<ClusterId> owners;
+    for (const Edge& e : mqc_edges) {
+      const ClusterId owner = m.clusters().OwnerOf(e);
+      ASSERT_NE(owner, kInvalidCluster);
+      owners.insert(owner);
+    }
+    EXPECT_EQ(owners.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MqcCoverageTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Lemma 5 directly: the final clustering does not depend on the order in
+// which edges arrive (or on interleaving deletions that are later undone).
+class OrderIndependenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OrderIndependenceTest, ShuffledInsertionOrdersAgree) {
+  Rng rng(GetParam() * 31 + 7);
+  // A random target edge set.
+  std::vector<Edge> edges;
+  const int n = 12;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(0.3)) edges.push_back(Edge{a, b});
+    }
+  }
+  std::vector<std::vector<Edge>> reference;
+  for (int order = 0; order < 6; ++order) {
+    rng.Shuffle(edges);
+    ScpMaintainer m;
+    for (const Edge& e : edges) m.AddEdge(e.u, e.v);
+    // Interleave a deletion/re-insertion of a random edge: must not change
+    // the endpoint.
+    if (!edges.empty()) {
+      const Edge& victim = edges[rng.UniformInt(edges.size())];
+      m.RemoveEdge(victim.u, victim.v);
+      m.AddEdge(victim.u, victim.v);
+    }
+    auto clusters = m.CanonicalClusters();
+    if (order == 0) {
+      reference = std::move(clusters);
+    } else {
+      ASSERT_EQ(clusters, reference) << "order " << order;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderIndependenceTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// The offline reference itself: sanity on known topologies.
+TEST(OfflineClusteringTest, LongCycleUnclustered) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 6; ++i) g.AddEdge(i, (i + 1) % 6);
+  EXPECT_TRUE(OfflineScpClusters(g).empty());
+}
+
+TEST(OfflineClusteringTest, ChordedCycleFullyClustered) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 6; ++i) g.AddEdge(i, (i + 1) % 6);
+  g.AddEdge(0, 3);  // chord makes two 4-cycles sharing the chord
+  const auto clusters = OfflineScpClusters(g);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 7u);
+}
+
+TEST(OfflineClusteringTest, TwoTrianglesSharingVertexStaySeparate) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  const auto clusters = OfflineScpClusters(g);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(OfflineClusteringTest, TwoTrianglesSharingEdgeMerge) {
+  DynamicGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  const auto clusters = OfflineScpClusters(g);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 5u);
+}
+
+// MQC checker sanity.
+TEST(MqcTest, CompleteCliqueIsMqc) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  EXPECT_TRUE(IsMqc(g, {0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(QuasiCliqueGamma(g, {0, 1, 2, 3, 4}), 1.0);
+}
+
+TEST(MqcTest, FiveCycleIsNotMqc) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 5; ++i) g.AddEdge(i, (i + 1) % 5);
+  // C5: degree 2 each; strict majority of 4 others requires 3.
+  EXPECT_FALSE(IsMqc(g, {0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(QuasiCliqueGamma(g, {0, 1, 2, 3, 4}), 0.5);
+}
+
+TEST(MqcTest, FourCycleIsMqc) {
+  DynamicGraph g;
+  for (NodeId i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4);
+  EXPECT_TRUE(IsMqc(g, {0, 1, 2, 3}));
+}
+
+TEST(MqcTest, PathIsNotMqc) {
+  DynamicGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(IsMqc(g, {0, 1, 2}));
+}
+
+TEST(MqcTest, DisconnectedSetIsNotMqc) {
+  DynamicGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 5);
+  g.AddEdge(4, 5);
+  EXPECT_TRUE(IsMqc(g, {0, 1, 2}));
+  EXPECT_FALSE(IsMqc(g, {0, 1, 2, 3, 4, 5}));
+}
+
+TEST(MqcTest, BruteForceFindsTriangles) {
+  DynamicGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);  // stray edge
+  const auto mqcs = BruteForceMaximalMqcs(g);
+  ASSERT_EQ(mqcs.size(), 1u);
+  EXPECT_EQ(mqcs[0], (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace scprt::cluster
