@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "detect/detector.h"
+#include "engine/parallel_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "eval/throughput.h"
@@ -21,12 +22,14 @@ struct RunResult {
   std::vector<detect::QuantumReport> reports;
 };
 
-/// Runs the detector over `trace` with `config` and evaluates against the
-/// planted ground truth.
-inline RunResult RunDetector(const stream::SyntheticTrace& trace,
-                             const detect::DetectorConfig& config,
-                             bool keep_reports = false) {
-  detect::EventDetector detector(config, &trace.dictionary);
+/// Times `detector.Run(trace.messages)` and evaluates the reports against
+/// the planted ground truth — the one definition of how a run is measured,
+/// shared by the serial and parallel entry points below.
+template <typename Detector>
+RunResult RunAndEvaluate(Detector& detector,
+                         const stream::SyntheticTrace& trace,
+                         const detect::DetectorConfig& config,
+                         bool keep_reports) {
   eval::Stopwatch watch;
   std::vector<detect::QuantumReport> reports =
       detector.Run(trace.messages);
@@ -37,6 +40,28 @@ inline RunResult RunDetector(const stream::SyntheticTrace& trace,
   result.metrics = eval::EvaluateRun(reports, matcher, config.quantum_size);
   if (keep_reports) result.reports = std::move(reports);
   return result;
+}
+
+/// Runs the detector over `trace` with `config` and evaluates against the
+/// planted ground truth.
+inline RunResult RunDetector(const stream::SyntheticTrace& trace,
+                             const detect::DetectorConfig& config,
+                             bool keep_reports = false) {
+  detect::EventDetector detector(config, &trace.dictionary);
+  return RunAndEvaluate(detector, trace, config, keep_reports);
+}
+
+/// Same run through the sharded engine (engine/parallel_detector.h).
+/// Reports are identical to RunDetector's; only wall-clock differs.
+inline RunResult RunParallelDetector(const stream::SyntheticTrace& trace,
+                                     const detect::DetectorConfig& config,
+                                     std::size_t threads,
+                                     bool keep_reports = false) {
+  engine::ParallelDetectorConfig pconfig;
+  pconfig.detector = config;
+  pconfig.threads = threads;
+  engine::ParallelDetector detector(pconfig, &trace.dictionary);
+  return RunAndEvaluate(detector, trace, config, keep_reports);
 }
 
 /// Nominal paper configuration (Table 2).

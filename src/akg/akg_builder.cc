@@ -25,28 +25,24 @@ AkgBuilder::AkgBuilder(const AkgConfig& config,
   SCPRT_CHECK(in_cluster_ != nullptr);
 }
 
-const MinHashSignature& AkgBuilder::RefreshSignature(KeywordId keyword) {
-  return signatures_[keyword] =
-             hasher_.Signature(id_sets_.WindowUsers(keyword));
-}
-
 double AkgBuilder::EdgeCorrelation(const Edge& e) const {
   auto it = edge_ec_.find(e);
   return it == edge_ec_.end() ? 0.0 : it->second;
 }
 
 GraphDelta AkgBuilder::ProcessQuantum(const stream::Quantum& quantum) {
+  return ProcessAggregate(AggregateQuantum(quantum));
+}
+
+GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   GraphDelta delta;
-  delta.quantum = quantum.index;
-  now_ = quantum.index;
+  delta.quantum = aggregate.index;
+  now_ = aggregate.index;
   last_stats_ = AkgQuantumStats{};
 
-  // --- 1. Ingest messages into id sets ---
-  id_sets_.BeginQuantum();
-  for (const stream::Message& m : quantum.messages) {
-    for (KeywordId k : m.keywords) id_sets_.Add(k, m.user);
-  }
-  id_sets_.EndQuantum();
+  // --- 1. Ingest the quantum's (keyword, user) aggregate into id sets;
+  //        the fold + expiry runs keyword-shard-parallel ---
+  id_sets_.IngestAggregate(aggregate, parallel_for_);
 
   // --- 2. Node state transitions (Section 3.1) ---
   std::vector<std::pair<KeywordId, std::uint32_t>> quantum_keywords;
@@ -75,9 +71,20 @@ GraphDelta AkgBuilder::ProcessQuantum(const stream::Quantum& quantum) {
   for (KeywordId k : update.entered) akg_.AddNode(k);
 
   // --- 4. Refresh signatures of keywords whose id sets changed and are
-  //        relevant this quantum: set (1) bursty + set (2) AKG-and-seen ---
-  for (KeywordId k : update.bursty) RefreshSignature(k);
-  for (KeywordId k : update.seen_in_akg) RefreshSignature(k);
+  //        relevant this quantum: set (1) bursty + set (2) AKG-and-seen.
+  //        Each signature depends only on its own window id set, so the
+  //        batch runs through the parallel hook; writes into signatures_
+  //        stay on this thread. ---
+  std::vector<KeywordId> refresh = update.bursty;
+  refresh.insert(refresh.end(), update.seen_in_akg.begin(),
+                 update.seen_in_akg.end());
+  std::vector<MinHashSignature> refreshed(refresh.size());
+  parallel_for_(refresh.size(), [&](std::size_t i) {
+    refreshed[i] = hasher_.Signature(id_sets_.WindowUsers(refresh[i]));
+  });
+  for (std::size_t i = 0; i < refresh.size(); ++i) {
+    signatures_[refresh[i]] = std::move(refreshed[i]);
+  }
 
   // --- 5. New edges among set (1) (Section 3.2.1): bucket-join on shared
   //        Min-Hash values to avoid the quadratic pair scan ---
@@ -110,14 +117,28 @@ GraphDelta AkgBuilder::ProcessQuantum(const stream::Quantum& quantum) {
   }
   last_stats_.pairs_screened = candidates.size();
 
+  // Screen serially (cheap signature comparison), batch the EC
+  // computations through the parallel hook (pure reads of id sets and
+  // signatures), then apply results in candidate order.
+  std::vector<std::pair<KeywordId, KeywordId>> add_jobs;
   for (const auto& [a, b] : candidates) {
     if (akg_.HasEdge(a, b)) continue;
-    const MinHashSignature& sa = signatures_[a];
-    const MinHashSignature& sb = signatures_[b];
-    if (!PassesScreen(config_.ec_mode, sa, sb)) continue;
-    const double ec =
-        ComputeEc(config_.ec_mode, id_sets_, a, b, sa, sb, hasher_.p());
-    ++last_stats_.ec_computed;
+    if (!PassesScreen(config_.ec_mode, signatures_[a], signatures_[b])) {
+      continue;
+    }
+    add_jobs.emplace_back(a, b);
+  }
+  std::vector<double> add_ecs(add_jobs.size());
+  parallel_for_(add_jobs.size(), [&](std::size_t i) {
+    const auto [a, b] = add_jobs[i];
+    add_ecs[i] = ComputeEc(config_.ec_mode, id_sets_, a, b,
+                           signatures_.at(a), signatures_.at(b),
+                           hasher_.p());
+  });
+  last_stats_.ec_computed += add_jobs.size();
+  for (std::size_t i = 0; i < add_jobs.size(); ++i) {
+    const auto [a, b] = add_jobs[i];
+    const double ec = add_ecs[i];
     if (ec >= gamma) {
       akg_.AddEdge(a, b);
       const Edge e = Edge::Of(a, b);
@@ -129,34 +150,43 @@ GraphDelta AkgBuilder::ProcessQuantum(const stream::Quantum& quantum) {
   // --- 6. Lazy re-validation (Section 3.2.1 set (2)): keywords seen this
   //        quantum update the EC with their current neighbors; edges whose
   //        correlation fell below gamma are dropped ---
-  std::vector<KeywordId> touched = update.bursty;
-  touched.insert(touched.end(), update.seen_in_akg.begin(),
-                 update.seen_in_akg.end());
+  // The pair set is fixed up front (removals below can only drop pairs
+  // that are already in the batch), so the EC batch runs through the
+  // parallel hook; EC reads only id sets and signatures, which the
+  // removals do not touch. Results apply in collection order. The touched
+  // set is exactly the signature-refresh set built in step 4.
   std::unordered_set<std::uint64_t> revalidated;
-  for (KeywordId k : touched) {
+  std::vector<std::pair<KeywordId, KeywordId>> reval_jobs;
+  for (KeywordId k : refresh) {
     if (!akg_.HasNode(k)) continue;
-    // Copy: we mutate adjacency inside the loop.
-    const std::vector<KeywordId> neighbors = akg_.Neighbors(k);
-    for (KeywordId neighbor : neighbors) {
+    for (KeywordId neighbor : akg_.Neighbors(k)) {
       KeywordId a = k, b = neighbor;
       if (a > b) std::swap(a, b);
       const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
-      if (!revalidated.insert(key).second) continue;
-      const Edge e = Edge::Of(a, b);
-      // Both signatures may be stale for the untouched endpoint; EC is
-      // computed from exact id sets except in kMinHashOnly mode.
-      const double ec =
-          ComputeEc(config_.ec_mode, id_sets_, a, b, signatures_[a],
-                    signatures_[b], hasher_.p());
-      ++last_stats_.ec_computed;
-      if (ec < gamma) {
-        akg_.RemoveEdge(a, b);
-        edge_ec_.erase(e);
-        delta.edges_removed.push_back(e);
-      } else if (ec != edge_ec_[e]) {
-        edge_ec_[e] = ec;
-        delta.ec_updated.emplace_back(e, ec);
-      }
+      if (revalidated.insert(key).second) reval_jobs.emplace_back(a, b);
+    }
+  }
+  std::vector<double> reval_ecs(reval_jobs.size());
+  parallel_for_(reval_jobs.size(), [&](std::size_t i) {
+    const auto [a, b] = reval_jobs[i];
+    // Both signatures may be stale for the untouched endpoint; EC is
+    // computed from exact id sets except in kMinHashOnly mode.
+    reval_ecs[i] = ComputeEc(config_.ec_mode, id_sets_, a, b,
+                             signatures_.at(a), signatures_.at(b),
+                             hasher_.p());
+  });
+  last_stats_.ec_computed += reval_jobs.size();
+  for (std::size_t i = 0; i < reval_jobs.size(); ++i) {
+    const auto [a, b] = reval_jobs[i];
+    const Edge e = Edge::Of(a, b);
+    const double ec = reval_ecs[i];
+    if (ec < gamma) {
+      akg_.RemoveEdge(a, b);
+      edge_ec_.erase(e);
+      delta.edges_removed.push_back(e);
+    } else if (ec != edge_ec_[e]) {
+      edge_ec_[e] = ec;
+      delta.ec_updated.emplace_back(e, ec);
     }
   }
 

@@ -14,6 +14,8 @@
 #include "akg/id_sets.h"
 #include "akg/minhash.h"
 #include "akg/node_state.h"
+#include "akg/quantum_aggregate.h"
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "stream/message.h"
 
@@ -74,7 +76,20 @@ class AkgBuilder {
              std::function<bool(KeywordId)> in_cluster);
 
   /// Processes one quantum of messages and returns the structural delta.
+  /// Equivalent to ProcessAggregate(AggregateQuantum(quantum)).
   GraphDelta ProcessQuantum(const stream::Quantum& quantum);
+
+  /// Processes one quantum already reduced to its canonical aggregate (the
+  /// parallel engine builds the aggregate on keyword shards). The delta is
+  /// identical to ProcessQuantum on the originating quantum.
+  GraphDelta ProcessAggregate(const QuantumAggregate& aggregate);
+
+  /// Installs the hook used for the pure per-item hot loops (signature
+  /// refresh, EC batches). The delta is identical under any hook; pass
+  /// nullptr to restore the serial default.
+  void set_parallel_for(ParallelForFn parallel_for) {
+    parallel_for_ = parallel_for ? std::move(parallel_for) : SerialFor;
+  }
 
   /// The AKG as a graph (mirror of what the deltas described).
   const graph::DynamicGraph& akg() const { return akg_; }
@@ -94,10 +109,8 @@ class AkgBuilder {
   const AkgConfig& config() const { return config_; }
 
  private:
-  /// Recomputes the signature of `keyword` from its window id set.
-  const MinHashSignature& RefreshSignature(KeywordId keyword);
-
   AkgConfig config_;
+  ParallelForFn parallel_for_ = SerialFor;
   std::function<bool(KeywordId)> in_cluster_;
   UserIdSets id_sets_;
   NodeStateAutomaton node_state_;

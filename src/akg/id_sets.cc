@@ -14,70 +14,130 @@ UserIdSets::UserIdSets(std::size_t window_length)
 void UserIdSets::BeginQuantum() {
   SCPRT_CHECK(!quantum_open_);
   quantum_open_ = true;
-  current_.clear();
+  for (Shard& shard : shards_) shard.current.clear();
 }
 
 void UserIdSets::Add(KeywordId keyword, UserId user) {
   SCPRT_DCHECK(quantum_open_);
-  current_[keyword].insert(user);
+  shards_[ShardOf(keyword)].current[keyword].insert(user);
+}
+
+void UserIdSets::ExpireShard(Shard& shard) {
+  if (shard.history.size() <= window_length_) return;
+  for (const auto& [keyword, user] : shard.history.front()) {
+    auto wit = shard.window.find(keyword);
+    SCPRT_DCHECK(wit != shard.window.end());
+    auto uit = wit->second.find(user);
+    SCPRT_DCHECK(uit != wit->second.end());
+    if (--uit->second == 0) wit->second.erase(uit);
+    if (wit->second.empty()) shard.window.erase(wit);
+  }
+  shard.history.pop_front();
+}
+
+template <typename Users>
+void UserIdSets::FoldKeyword(
+    Shard& shard, KeywordId keyword, const Users& users,
+    std::vector<std::pair<KeywordId, UserId>>& compact) {
+  shard.last_quantum_support[keyword] =
+      static_cast<std::uint32_t>(users.size());
+  shard.last_quantum_keywords.push_back(keyword);
+  UserCounts& counts = shard.window[keyword];
+  for (UserId user : users) {
+    ++counts[user];
+    compact.emplace_back(keyword, user);
+  }
+}
+
+void UserIdSets::FoldShard(Shard& shard) {
+  shard.last_quantum_support.clear();
+  shard.last_quantum_keywords.clear();
+  std::vector<std::pair<KeywordId, UserId>> compact;
+  for (const auto& [keyword, users] : shard.current) {
+    FoldKeyword(shard, keyword, users, compact);
+  }
+  shard.current.clear();
+  shard.history.push_back(std::move(compact));
+  ExpireShard(shard);
+}
+
+void UserIdSets::MergeQuantumKeywords() {
+  last_quantum_keywords_.clear();
+  for (const Shard& shard : shards_) {
+    last_quantum_keywords_.insert(last_quantum_keywords_.end(),
+                                  shard.last_quantum_keywords.begin(),
+                                  shard.last_quantum_keywords.end());
+  }
+  // Canonical order: reports derived downstream must not depend on message
+  // arrival order within the quantum (the parallel engine ingests
+  // keyword-sharded aggregates in slice order).
+  std::sort(last_quantum_keywords_.begin(), last_quantum_keywords_.end());
 }
 
 void UserIdSets::EndQuantum() {
   SCPRT_CHECK(quantum_open_);
   quantum_open_ = false;
+  for (Shard& shard : shards_) FoldShard(shard);
+  MergeQuantumKeywords();
+}
 
-  last_quantum_support_.clear();
-  last_quantum_keywords_.clear();
-  std::vector<std::pair<KeywordId, UserId>> compact;
-  for (const auto& [keyword, users] : current_) {
-    last_quantum_support_[keyword] =
-        static_cast<std::uint32_t>(users.size());
-    last_quantum_keywords_.push_back(keyword);
-    UserCounts& counts = window_[keyword];
-    for (UserId user : users) {
-      ++counts[user];
-      compact.emplace_back(keyword, user);
-    }
+void UserIdSets::IngestAggregate(const QuantumAggregate& aggregate,
+                                 const ParallelForFn& parallel_for) {
+  SCPRT_CHECK(!quantum_open_);
+  // One routing pass up front so each shard folds only its own entries
+  // instead of re-scanning the whole aggregate.
+  std::vector<std::vector<std::uint32_t>> owned(kIdSetShards);
+  for (std::uint32_t i = 0; i < aggregate.keywords.size(); ++i) {
+    owned[ShardOf(aggregate.keywords[i].first)].push_back(i);
   }
-  current_.clear();
-  history_.push_back(std::move(compact));
-
-  if (history_.size() > window_length_) {
-    for (const auto& [keyword, user] : history_.front()) {
-      auto wit = window_.find(keyword);
-      SCPRT_DCHECK(wit != window_.end());
-      auto uit = wit->second.find(user);
-      SCPRT_DCHECK(uit != wit->second.end());
-      if (--uit->second == 0) wit->second.erase(uit);
-      if (wit->second.empty()) window_.erase(wit);
+  const auto ingest_shard = [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    shard.last_quantum_support.clear();
+    shard.last_quantum_keywords.clear();
+    std::vector<std::pair<KeywordId, UserId>> compact;
+    for (std::uint32_t i : owned[s]) {
+      const auto& [keyword, users] = aggregate.keywords[i];
+      FoldKeyword(shard, keyword, users, compact);
     }
-    history_.pop_front();
+    shard.history.push_back(std::move(compact));
+    ExpireShard(shard);
+  };
+  if (parallel_for) {
+    parallel_for(kIdSetShards, ingest_shard);
+  } else {
+    SerialFor(kIdSetShards, ingest_shard);
   }
+  MergeQuantumKeywords();
 }
 
 std::size_t UserIdSets::QuantumSupport(KeywordId keyword) const {
-  auto it = last_quantum_support_.find(keyword);
-  return it == last_quantum_support_.end() ? 0 : it->second;
+  const Shard& shard = shards_[ShardOf(keyword)];
+  auto it = shard.last_quantum_support.find(keyword);
+  return it == shard.last_quantum_support.end() ? 0 : it->second;
 }
 
 std::size_t UserIdSets::WindowSupport(KeywordId keyword) const {
-  auto it = window_.find(keyword);
-  return it == window_.end() ? 0 : it->second.size();
+  const Shard& shard = shards_[ShardOf(keyword)];
+  auto it = shard.window.find(keyword);
+  return it == shard.window.end() ? 0 : it->second.size();
 }
 
 std::vector<UserId> UserIdSets::WindowUsers(KeywordId keyword) const {
   std::vector<UserId> users;
-  auto it = window_.find(keyword);
-  if (it == window_.end()) return users;
+  const Shard& shard = shards_[ShardOf(keyword)];
+  auto it = shard.window.find(keyword);
+  if (it == shard.window.end()) return users;
   users.reserve(it->second.size());
   for (const auto& [user, _] : it->second) users.push_back(user);
   return users;
 }
 
 double UserIdSets::Jaccard(KeywordId a, KeywordId b) const {
-  auto ita = window_.find(a);
-  auto itb = window_.find(b);
-  if (ita == window_.end() || itb == window_.end()) return 0.0;
+  const Shard& shard_a = shards_[ShardOf(a)];
+  const Shard& shard_b = shards_[ShardOf(b)];
+  auto ita = shard_a.window.find(a);
+  auto itb = shard_b.window.find(b);
+  if (ita == shard_a.window.end() || itb == shard_b.window.end()) return 0.0;
   const UserCounts* small = &ita->second;
   const UserCounts* large = &itb->second;
   if (small->size() > large->size()) std::swap(small, large);
@@ -90,6 +150,12 @@ double UserIdSets::Jaccard(KeywordId a, KeywordId b) const {
              ? 0.0
              : static_cast<double>(intersection) /
                    static_cast<double>(unioned);
+}
+
+std::size_t UserIdSets::active_keywords() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.window.size();
+  return total;
 }
 
 }  // namespace scprt::akg

@@ -5,6 +5,14 @@
 // Supports O(1) amortized ingestion, exact window expiry, per-quantum
 // distinct-user counts (the burstiness signal), and exact Jaccard between
 // two keywords' id sets (the edge correlation EC).
+//
+// Internally the store is partitioned into a fixed number of keyword
+// shards (keyword % kIdSetShards). Shards never share state, so the
+// per-quantum fold + expiry runs shard-parallel through IngestAggregate's
+// hook while every query and the Begin/Add/End path stay unchanged. All
+// outputs are canonical (QuantumKeywords ascending, everything else
+// content-addressed), so results do not depend on the shard count or on
+// which thread folded which shard.
 
 #ifndef SCPRT_AKG_ID_SETS_H_
 #define SCPRT_AKG_ID_SETS_H_
@@ -14,14 +22,21 @@
 #include <unordered_set>
 #include <vector>
 
+#include "akg/quantum_aggregate.h"
+#include "common/parallel.h"
 #include "common/types.h"
 
 namespace scprt::akg {
 
 /// Maintains id sets for every keyword seen in the last `window_length`
-/// quanta. Usage per quantum: BeginQuantum(); Add(...)*; EndQuantum().
+/// quanta. Usage per quantum: BeginQuantum(); Add(...)*; EndQuantum() — or
+/// one IngestAggregate call with the quantum's canonical aggregate.
 class UserIdSets {
  public:
+  /// Keyword shards per store. Fixed (not tied to the thread count) so the
+  /// data layout is identical no matter who drives the ingestion.
+  static constexpr std::size_t kIdSetShards = 16;
+
   /// `window_length` is the paper's w, >= 1.
   explicit UserIdSets(std::size_t window_length);
 
@@ -36,10 +51,17 @@ class UserIdSets {
   /// the quantum that fell out of the window.
   void EndQuantum();
 
+  /// Ingests one whole quantum from its canonical aggregate — exactly
+  /// equivalent to BeginQuantum + Add* + EndQuantum on the same content.
+  /// `parallel_for` (serial default when null) runs the independent
+  /// per-shard folds concurrently.
+  void IngestAggregate(const QuantumAggregate& aggregate,
+                       const ParallelForFn& parallel_for);
+
   /// Distinct users of `keyword` in the (just-closed) most recent quantum.
   std::size_t QuantumSupport(KeywordId keyword) const;
 
-  /// Keywords that occurred in the most recent quantum.
+  /// Keywords that occurred in the most recent quantum, ascending.
   const std::vector<KeywordId>& QuantumKeywords() const {
     return last_quantum_keywords_;
   }
@@ -56,22 +78,52 @@ class UserIdSets {
   double Jaccard(KeywordId a, KeywordId b) const;
 
   /// Number of keywords with non-empty window id sets.
-  std::size_t active_keywords() const { return window_.size(); }
+  std::size_t active_keywords() const;
 
  private:
   using UserCounts = std::unordered_map<UserId, std::uint32_t>;
 
+  /// One keyword partition; a quantum touches every shard independently.
+  struct Shard {
+    // Open quantum: keyword -> distinct users.
+    std::unordered_map<KeywordId, std::unordered_set<UserId>> current;
+    // Closed quanta, oldest first, in compact form for expiry.
+    std::deque<std::vector<std::pair<KeywordId, UserId>>> history;
+    // Window aggregate: keyword -> (user -> multiplicity across quanta).
+    std::unordered_map<KeywordId, UserCounts> window;
+    // Most recent closed quantum's per-keyword distinct-user counts.
+    std::unordered_map<KeywordId, std::uint32_t> last_quantum_support;
+    // Keywords of the most recent closed quantum, ascending.
+    std::vector<KeywordId> last_quantum_keywords;
+  };
+
+  static std::size_t ShardOf(KeywordId keyword) {
+    return keyword % kIdSetShards;
+  }
+
+  /// Folds one keyword's quantum users into `shard`: support count,
+  /// keyword list, window multiplicities and the compact history entry.
+  /// The single definition of the fold invariant — both ingest paths
+  /// (EndQuantum and IngestAggregate) go through it.
+  template <typename Users>
+  static void FoldKeyword(Shard& shard, KeywordId keyword,
+                          const Users& users,
+                          std::vector<std::pair<KeywordId, UserId>>& compact);
+
+  /// Folds the shard's open quantum into its window and expires the
+  /// quantum leaving the window. Touches only `shard`.
+  void FoldShard(Shard& shard);
+
+  /// Drops the shard's quantum that just left the window, if any.
+  void ExpireShard(Shard& shard);
+
+  /// Rebuilds the merged QuantumKeywords vector from the shards.
+  void MergeQuantumKeywords();
+
   std::size_t window_length_;
   bool quantum_open_ = false;
-
-  // Open quantum: keyword -> distinct users.
-  std::unordered_map<KeywordId, std::unordered_set<UserId>> current_;
-  // Closed quanta, oldest first, in compact form for expiry.
-  std::deque<std::vector<std::pair<KeywordId, UserId>>> history_;
-  // Window aggregate: keyword -> (user -> multiplicity across quanta).
-  std::unordered_map<KeywordId, UserCounts> window_;
-  // Most recent closed quantum's per-keyword distinct-user counts.
-  std::unordered_map<KeywordId, std::uint32_t> last_quantum_support_;
+  std::vector<Shard> shards_{kIdSetShards};
+  // Merged view of the shards' last-quantum keywords, ascending.
   std::vector<KeywordId> last_quantum_keywords_;
 };
 

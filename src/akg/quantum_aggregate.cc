@@ -1,0 +1,32 @@
+#include "akg/quantum_aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scprt::akg {
+
+QuantumAggregate CanonicalAggregate(
+    std::unordered_map<KeywordId, std::vector<UserId>>&& users_of,
+    QuantumIndex index) {
+  QuantumAggregate aggregate;
+  aggregate.index = index;
+  aggregate.keywords.reserve(users_of.size());
+  for (auto& [keyword, users] : users_of) {
+    std::sort(users.begin(), users.end());
+    users.erase(std::unique(users.begin(), users.end()), users.end());
+    aggregate.keywords.emplace_back(keyword, std::move(users));
+  }
+  std::sort(aggregate.keywords.begin(), aggregate.keywords.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return aggregate;
+}
+
+QuantumAggregate AggregateQuantum(const stream::Quantum& quantum) {
+  std::unordered_map<KeywordId, std::vector<UserId>> users_of;
+  for (const stream::Message& m : quantum.messages) {
+    for (KeywordId k : m.keywords) users_of[k].push_back(m.user);
+  }
+  return CanonicalAggregate(std::move(users_of), quantum.index);
+}
+
+}  // namespace scprt::akg

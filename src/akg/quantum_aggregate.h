@@ -1,0 +1,42 @@
+// Canonical per-quantum ingest form: every keyword that occurred in the
+// quantum with its distinct users, keywords ascending, each user list
+// sorted ascending. Aggregates built from the same quantum compare equal no
+// matter how they were produced — serially (AggregateQuantum) or merged
+// from keyword shards (engine/parallel_detector.cc) — which is what makes
+// the parallel engine's reports bit-identical to the serial detector's.
+
+#ifndef SCPRT_AKG_QUANTUM_AGGREGATE_H_
+#define SCPRT_AKG_QUANTUM_AGGREGATE_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/message.h"
+
+namespace scprt::akg {
+
+/// One quantum reduced to (keyword, distinct users) in canonical order.
+struct QuantumAggregate {
+  QuantumIndex index = 0;
+  /// Sorted by keyword; each user vector sorted and de-duplicated.
+  std::vector<std::pair<KeywordId, std::vector<UserId>>> keywords;
+};
+
+/// Canonicalizes a raw keyword -> users gather (user lists may contain
+/// duplicates, in any order) into an aggregate. The single definition of
+/// the canonical form — AggregateQuantum and the engine's sharded reduce
+/// both end here, which is what keeps their outputs comparable.
+QuantumAggregate CanonicalAggregate(
+    std::unordered_map<KeywordId, std::vector<UserId>>&& users_of,
+    QuantumIndex index);
+
+/// Reduces one quantum serially. The parallel engine produces the same
+/// value by routing (keyword, user) pairs to keyword shards and reducing
+/// each shard through CanonicalAggregate.
+QuantumAggregate AggregateQuantum(const stream::Quantum& quantum);
+
+}  // namespace scprt::akg
+
+#endif  // SCPRT_AKG_QUANTUM_AGGREGATE_H_

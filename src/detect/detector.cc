@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
+#include "common/check.h"
 #include "rank/ranking.h"
 
 namespace scprt::detect {
@@ -29,13 +31,25 @@ std::optional<QuantumReport> EventDetector::Push(
   return ProcessQuantum(*quantum);
 }
 
+void EventDetector::set_parallel_for(ParallelForFn parallel_for) {
+  parallel_for_ = parallel_for ? parallel_for : SerialFor;
+  akg_.set_parallel_for(std::move(parallel_for));
+}
+
 QuantumReport EventDetector::ProcessQuantum(const stream::Quantum& quantum) {
+  return ProcessQuantumWithAggregate(quantum,
+                                     akg::AggregateQuantum(quantum));
+}
+
+QuantumReport EventDetector::ProcessQuantumWithAggregate(
+    const stream::Quantum& quantum, const akg::QuantumAggregate& aggregate) {
+  SCPRT_DCHECK(aggregate.index == quantum.index);
   maintainer_.SetClock(quantum.index);
   if (quantizer_.next_index() <= quantum.index) {
     quantizer_.SetNextIndex(quantum.index + 1);
   }
   window_.Push(quantum);  // retained for checkpoint/replay
-  const akg::GraphDelta delta = akg_.ProcessQuantum(quantum);
+  const akg::GraphDelta delta = akg_.ProcessAggregate(aggregate);
 
   // Structural application order: node evictions (which drop their incident
   // edges inside the maintainer too), then edge drops, then edge adds.
@@ -66,7 +80,9 @@ std::vector<QuantumReport> EventDetector::Run(
   return reports;
 }
 
-std::vector<EventSnapshot> EventDetector::SnapshotEvents(QuantumIndex now) {
+EventSnapshot EventDetector::SnapshotCore(ClusterId id,
+                                          const cluster::Cluster& cluster,
+                                          QuantumIndex now) const {
   const rank::EcFn ec = [this](const Edge& e) {
     return akg_.EdgeCorrelation(e);
   };
@@ -74,30 +90,52 @@ std::vector<EventSnapshot> EventDetector::SnapshotEvents(QuantumIndex now) {
     return static_cast<double>(akg_.NodeWeight(n));
   };
 
+  EventSnapshot snap;
+  snap.cluster_id = id;
+  snap.quantum = now;
+  snap.born_at = cluster.born_at;
+  snap.keywords = cluster.SortedNodes();
+  snap.node_count = cluster.node_count();
+  snap.edge_count = cluster.edge_count();
+  snap.rank = rank::ClusterRank(cluster, ec, weight);
+  double ec_sum = 0.0;
+  for (const Edge& e : cluster.edges()) ec_sum += akg_.EdgeCorrelation(e);
+  snap.avg_ec = cluster.edge_count() == 0
+                    ? 0.0
+                    : ec_sum / static_cast<double>(cluster.edge_count());
+  // Support: distinct users over the window across member keywords.
+  std::unordered_set<UserId> users;
+  for (KeywordId k : snap.keywords) {
+    for (UserId u : akg_.id_sets().WindowUsers(k)) users.insert(u);
+  }
+  snap.support = users.size();
+  return snap;
+}
+
+std::vector<EventSnapshot> EventDetector::SnapshotEvents(QuantumIndex now) {
+  // Canonical cluster order: id ascending. The cores are pure per-cluster
+  // reads and run through the parallel hook; everything order-sensitive
+  // (tracker observation, filtering, report order) stays serial below, so
+  // reports are identical under any hook.
+  std::vector<std::pair<ClusterId, const Cluster*>> live_clusters;
+  live_clusters.reserve(maintainer_.clusters().clusters().size());
+  for (const auto& [id, cluster] : maintainer_.clusters().clusters()) {
+    live_clusters.emplace_back(id, cluster.get());
+  }
+  std::sort(live_clusters.begin(), live_clusters.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<EventSnapshot> cores(live_clusters.size());
+  parallel_for_(live_clusters.size(), [&](std::size_t i) {
+    cores[i] = SnapshotCore(live_clusters[i].first, *live_clusters[i].second,
+                            now);
+  });
+
   std::vector<EventSnapshot> snapshots;
   std::unordered_set<ClusterId> live;
-  for (const auto& [id, cluster] : maintainer_.clusters().clusters()) {
+  for (EventSnapshot& snap : cores) {
+    const ClusterId id = snap.cluster_id;
     live.insert(id);
-    EventSnapshot snap;
-    snap.cluster_id = id;
-    snap.quantum = now;
-    snap.born_at = cluster->born_at;
-    snap.keywords = cluster->SortedNodes();
-    snap.node_count = cluster->node_count();
-    snap.edge_count = cluster->edge_count();
-    snap.rank = rank::ClusterRank(*cluster, ec, weight);
-    double ec_sum = 0.0;
-    for (const Edge& e : cluster->edges()) ec_sum += akg_.EdgeCorrelation(e);
-    snap.avg_ec = cluster->edge_count() == 0
-                      ? 0.0
-                      : ec_sum / static_cast<double>(cluster->edge_count());
-    // Support: distinct users over the window across member keywords.
-    std::unordered_set<UserId> users;
-    for (KeywordId k : snap.keywords) {
-      for (UserId u : akg_.id_sets().WindowUsers(k)) users.insert(u);
-    }
-    snap.support = users.size();
-
     tracker_.Observe(id, rank::RankObservation{
                              now, snap.rank,
                              static_cast<std::uint32_t>(snap.node_count)});

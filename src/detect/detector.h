@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "akg/akg_builder.h"
+#include "akg/quantum_aggregate.h"
 #include "cluster/maintenance.h"
+#include "common/parallel.h"
 #include "detect/config.h"
 #include "detect/event.h"
 #include "rank/rank_tracker.h"
@@ -39,6 +41,20 @@ class EventDetector {
   /// re-based past this quantum so subsequent Push()es continue the clock.
   QuantumReport ProcessQuantum(const stream::Quantum& quantum);
 
+  /// Same, but with the quantum's canonical aggregate supplied by the
+  /// caller (the parallel engine builds it on keyword shards). `aggregate`
+  /// must equal akg::AggregateQuantum(quantum); the report is then
+  /// identical to ProcessQuantum(quantum).
+  QuantumReport ProcessQuantumWithAggregate(
+      const stream::Quantum& quantum,
+      const akg::QuantumAggregate& aggregate);
+
+  /// Installs the hook for the pure per-item hot loops here and in the AKG
+  /// builder (signature refresh, EC batches, per-cluster snapshot cores).
+  /// Reports are identical under any hook; nullptr restores the serial
+  /// default. See engine/parallel_detector.h for the pooled setup.
+  void set_parallel_for(ParallelForFn parallel_for);
+
   /// Runs a whole trace; returns every quantum report.
   std::vector<QuantumReport> Run(const std::vector<stream::Message>& trace);
 
@@ -64,10 +80,17 @@ class EventDetector {
   /// Builds the ranked, filtered snapshot list for the current state.
   std::vector<EventSnapshot> SnapshotEvents(QuantumIndex now);
 
+  /// Computes the tracker-independent fields of one cluster's snapshot
+  /// (pure reads of the maintainer and AKG; safe to run concurrently for
+  /// distinct clusters).
+  EventSnapshot SnapshotCore(ClusterId id, const cluster::Cluster& cluster,
+                             QuantumIndex now) const;
+
   /// True if the cluster passes the report filters (size, rank, noun).
   bool PassesFilters(const EventSnapshot& snapshot) const;
 
   DetectorConfig config_;
+  ParallelForFn parallel_for_ = SerialFor;
   const text::KeywordDictionary* dictionary_;
   cluster::ScpMaintainer maintainer_;
   akg::AkgBuilder akg_;

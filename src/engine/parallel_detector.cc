@@ -1,0 +1,113 @@
+#include "engine/parallel_detector.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace scprt::engine {
+namespace {
+
+std::size_t ResolveThreads(std::size_t threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ParallelDetector::ParallelDetector(const ParallelDetectorConfig& config,
+                                   const text::KeywordDictionary* dictionary)
+    : pool_(ResolveThreads(config.threads)),
+      detector_(config.detector, dictionary),
+      quantizer_(config.detector.quantum_size) {
+  if (pool_.threads() > 1) {
+    detector_.set_parallel_for(
+        [this](std::size_t n, const std::function<void(std::size_t)>& body) {
+          pool_.ParallelFor(n, body);
+        });
+  }
+}
+
+std::optional<detect::QuantumReport> ParallelDetector::Push(
+    const stream::Message& message) {
+  auto quantum = quantizer_.Push(message);
+  if (!quantum) return std::nullopt;
+  return ProcessQuantum(*quantum);
+}
+
+detect::QuantumReport ParallelDetector::ProcessQuantum(
+    const stream::Quantum& quantum) {
+  if (quantizer_.next_index() <= quantum.index) {
+    quantizer_.SetNextIndex(quantum.index + 1);
+  }
+  return detector_.ProcessQuantumWithAggregate(quantum,
+                                               ShardAggregate(quantum));
+}
+
+std::vector<detect::QuantumReport> ParallelDetector::Run(
+    const std::vector<stream::Message>& trace) {
+  std::vector<detect::QuantumReport> reports;
+  for (const stream::Message& m : trace) {
+    if (auto report = Push(m)) reports.push_back(*std::move(report));
+  }
+  return reports;
+}
+
+akg::QuantumAggregate ParallelDetector::ShardAggregate(
+    const stream::Quantum& quantum) {
+  const std::size_t shards = pool_.threads();
+  if (shards <= 1) return akg::AggregateQuantum(quantum);
+
+  // Phase A — slice-parallel routing: worker w scans only its slice of
+  // the quantum and buckets (keyword, user) pairs by owning shard, so the
+  // total scan work stays O(messages) regardless of the shard count.
+  using Routed = std::vector<std::vector<std::pair<KeywordId, UserId>>>;
+  std::vector<Routed> routed(shards, Routed(shards));
+  const std::size_t messages = quantum.messages.size();
+  pool_.RunShards(shards, [&](std::size_t w) {
+    Routed& buckets = routed[w];
+    const std::size_t begin = w * messages / shards;
+    const std::size_t end = (w + 1) * messages / shards;
+    for (std::size_t i = begin; i < end; ++i) {
+      const stream::Message& m = quantum.messages[i];
+      for (KeywordId k : m.keywords) {
+        buckets[k % shards].emplace_back(k, m.user);
+      }
+    }
+  });
+
+  // Phase B — shard-parallel reduce: shard s gathers every worker's bucket
+  // for s and canonicalizes through the same helper AggregateQuantum uses,
+  // so the merged result equals the serial aggregate exactly.
+  std::vector<akg::QuantumAggregate> parts(shards);
+  pool_.RunShards(shards, [&](std::size_t s) {
+    std::unordered_map<KeywordId, std::vector<UserId>> users_of;
+    for (std::size_t w = 0; w < shards; ++w) {
+      for (const auto& [keyword, user] : routed[w][s]) {
+        users_of[keyword].push_back(user);
+      }
+    }
+    parts[s] = akg::CanonicalAggregate(std::move(users_of), quantum.index);
+  });
+
+  akg::QuantumAggregate aggregate;
+  aggregate.index = quantum.index;
+  std::size_t total = 0;
+  for (const akg::QuantumAggregate& part : parts) {
+    total += part.keywords.size();
+  }
+  aggregate.keywords.reserve(total);
+  for (akg::QuantumAggregate& part : parts) {
+    for (auto& entry : part.keywords) {
+      aggregate.keywords.push_back(std::move(entry));
+    }
+  }
+  // Shards interleave keyword ids (k % shards), so a full sort restores the
+  // canonical order AggregateQuantum produces.
+  std::sort(aggregate.keywords.begin(), aggregate.keywords.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return aggregate;
+}
+
+}  // namespace scprt::engine

@@ -1,0 +1,87 @@
+// Sharded multi-threaded front end over the single-threaded EventDetector.
+//
+// Work is partitioned by keyword: shard s of S owns every keyword k with
+// k % S == s. Each quantum flows through four stages:
+//
+//   1. aggregate   (parallel)  — workers scan disjoint message slices and
+//                                route (keyword, user) pairs to their
+//                                owning shards (fed through the pool's
+//                                per-shard SPSC queues), then each shard
+//                                reduces its keywords to (keyword,
+//                                distinct users);
+//   2. merge       (serial)    — shard outputs concatenate and sort into
+//                                the canonical QuantumAggregate;
+//   3. graph + SCP (serial core, parallel hot loops) — the AKG builder
+//                                batches Min-Hash signature refreshes and
+//                                edge-correlation computations through the
+//                                pool, then the single-writer ScpMaintainer
+//                                applies the structural delta;
+//   4. snapshot    (parallel)  — per-cluster report cores compute on the
+//                                pool and merge in canonical (cluster id,
+//                                then rank) order.
+//
+// Every parallel stage writes only per-index slots and every serial stage
+// consumes canonical orderings, so the emitted QuantumReport sequence is
+// bit-identical to EventDetector's on the same stream at any thread count
+// (tests/parallel_detector_test.cc proves it at 1, 2 and 8 threads).
+
+#ifndef SCPRT_ENGINE_PARALLEL_DETECTOR_H_
+#define SCPRT_ENGINE_PARALLEL_DETECTOR_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "detect/config.h"
+#include "detect/detector.h"
+#include "engine/shard_pool.h"
+#include "stream/message.h"
+#include "stream/quantizer.h"
+#include "text/keyword_dictionary.h"
+
+namespace scprt::engine {
+
+/// Engine tuning on top of the detector configuration.
+struct ParallelDetectorConfig {
+  detect::DetectorConfig detector;
+  /// Worker threads (= keyword shards). 0 derives the hardware concurrency;
+  /// 1 runs everything inline on the calling thread.
+  std::size_t threads = 0;
+};
+
+/// Drop-in parallel EventDetector: same Push/ProcessQuantum/Run surface,
+/// same reports, sharded execution. Not thread-safe itself — one driver
+/// thread feeds it, the pool parallelizes underneath.
+class ParallelDetector {
+ public:
+  ParallelDetector(const ParallelDetectorConfig& config,
+                   const text::KeywordDictionary* dictionary);
+
+  /// Streams one message; returns a report when it completed a quantum.
+  std::optional<detect::QuantumReport> Push(const stream::Message& message);
+
+  /// Processes one pre-built quantum (clock re-bases past it).
+  detect::QuantumReport ProcessQuantum(const stream::Quantum& quantum);
+
+  /// Runs a whole trace; returns every quantum report.
+  std::vector<detect::QuantumReport> Run(
+      const std::vector<stream::Message>& trace);
+
+  /// Degree of parallelism actually in use.
+  std::size_t threads() const { return pool_.threads(); }
+
+  /// The wrapped single-writer core (state inspection, checkpointing).
+  const detect::EventDetector& core() const { return detector_; }
+
+ private:
+  /// Stage 1 + 2: the canonical aggregate, built on keyword shards.
+  akg::QuantumAggregate ShardAggregate(const stream::Quantum& quantum);
+
+  ShardPool pool_;  // outlives detector_'s parallel hook
+  detect::EventDetector detector_;
+  stream::Quantizer quantizer_;
+};
+
+}  // namespace scprt::engine
+
+#endif  // SCPRT_ENGINE_PARALLEL_DETECTOR_H_

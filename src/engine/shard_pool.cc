@@ -1,0 +1,95 @@
+#include "engine/shard_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scprt::engine {
+
+ShardPool::ShardPool(std::size_t threads) {
+  SCPRT_CHECK(threads >= 1);
+  if (threads == 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start after the vector is fully built: WorkerLoop only touches its own
+  // Worker and pending_, but a late reallocation would move peers.
+  for (auto& worker : workers_) {
+    Worker* raw = worker.get();
+    raw->thread = std::jthread(
+        [this, raw](std::stop_token stop) { WorkerLoop(stop, *raw); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  for (auto& worker : workers_) {
+    worker->thread.request_stop();
+    worker->signal.fetch_add(1, std::memory_order_release);
+    worker->signal.notify_one();
+  }
+  // std::jthread joins in its destructor.
+}
+
+void ShardPool::RunShards(std::size_t shards,
+                          const std::function<void(std::size_t)>& body) {
+  if (shards == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t shard = 0; shard < shards; ++shard) body(shard);
+    return;
+  }
+
+  pending_.store(shards, std::memory_order_relaxed);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    Worker& worker = *workers_[shard % workers_.size()];
+    while (!worker.queue.TryPush(Task{&body, shard})) {
+      std::this_thread::yield();  // queue full — wait for the consumer
+    }
+    worker.signal.fetch_add(1, std::memory_order_release);
+    worker.signal.notify_one();
+  }
+  for (;;) {
+    const std::size_t left = pending_.load(std::memory_order_acquire);
+    if (left == 0) break;
+    pending_.wait(left, std::memory_order_acquire);
+  }
+}
+
+void ShardPool::ParallelFor(std::size_t n,
+                            const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t ways = std::min(n, threads());
+  if (ways <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::function<void(std::size_t)> chunk = [&](std::size_t c) {
+    const std::size_t begin = c * n / ways;
+    const std::size_t end = (c + 1) * n / ways;
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  };
+  RunShards(ways, chunk);
+}
+
+void ShardPool::WorkerLoop(std::stop_token stop, Worker& worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Task task;
+    while (worker.queue.TryPop(task)) {
+      (*task.body)(task.shard);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pending_.notify_one();
+      }
+    }
+    if (stop.stop_requested()) return;
+    const std::uint64_t signal =
+        worker.signal.load(std::memory_order_acquire);
+    if (signal != seen) {
+      seen = signal;  // new pushes raced with the drain loop — re-check
+      continue;
+    }
+    worker.signal.wait(signal, std::memory_order_acquire);
+  }
+}
+
+}  // namespace scprt::engine

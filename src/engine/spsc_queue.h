@@ -1,0 +1,74 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The classic two-index design: the producer owns `tail_`, the consumer
+// owns `head_`, each reads the other's index with acquire ordering and
+// publishes its own with release ordering. No locks, no CAS loops — one
+// atomic load + one atomic store per operation on the fast path. Used as
+// the per-shard task channel of engine/shard_pool.h (driver thread =
+// producer, shard worker = consumer).
+
+#ifndef SCPRT_ENGINE_SPSC_QUEUE_H_
+#define SCPRT_ENGINE_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scprt::engine {
+
+/// Fixed-capacity SPSC queue. Exactly one thread may call TryPush and
+/// exactly one thread may call TryPop (they may be different threads).
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  explicit SpscQueue(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    SCPRT_CHECK(capacity >= 2 && (capacity & mask_) == 0);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the queue is full.
+  bool TryPush(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the queue is empty.
+  bool TryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate size (exact when called from either owning thread).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  // Producer and consumer indices on separate cache lines to avoid false
+  // sharing between the two owning threads.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace scprt::engine
+
+#endif  // SCPRT_ENGINE_SPSC_QUEUE_H_
