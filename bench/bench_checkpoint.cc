@@ -1,0 +1,122 @@
+// Checkpoint micro-bench: native structural restore vs the replay restore
+// it replaced (PR 2).
+//
+// The v1 checkpoint stored 3w quanta of raw messages and rebuilt a fresh
+// detector by re-processing them — O(window of traffic). The native format
+// deserializes the derived state directly — O(state). This harness runs a
+// full-window trace, saves a native snapshot, and times:
+//
+//   * native save / native load (detect/checkpoint.h), serial and engine;
+//   * the replaced replay path, simulated faithfully: a fresh detector
+//     re-processing the last 3w quanta (exactly what v1's LoadCheckpoint
+//     did after parsing).
+//
+// Acceptance gate of the PR: native restore >= 10x faster than replay.
+//
+//   $ ./bench_checkpoint [--threads N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "detect/checkpoint.h"
+#include "detect/report.h"
+#include "stream/quantizer.h"
+
+int main(int argc, char** argv) {
+  using namespace scprt;
+  std::size_t threads = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads =
+          static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  bench::PrintHeader("Checkpoint: native structural restore vs replay");
+
+  const stream::SyntheticTrace trace =
+      stream::GenerateSyntheticTrace(stream::TimeWindowPreset(42));
+  const detect::DetectorConfig config = bench::NominalConfig();
+  const std::vector<stream::Quantum> quanta =
+      stream::SplitIntoQuanta(trace.messages, config.quantum_size);
+
+  // Fill well past the window so hysteresis and evictions are live, as in
+  // a long-running deployment.
+  const std::size_t warmup =
+      std::min(quanta.size() - 1, 5 * config.akg.window_length);
+  detect::EventDetector detector(config, &trace.dictionary);
+  for (std::size_t q = 0; q < warmup; ++q) {
+    detector.ProcessQuantum(quanta[q]);
+  }
+  std::printf("state after %zu quanta (w = %zu): AKG %zu nodes, "
+              "%zu clusters live\n\n",
+              warmup, config.akg.window_length,
+              detector.akg().akg().node_count(),
+              detector.maintainer().clusters().size());
+
+  // --- native save + load ---
+  eval::Stopwatch save_watch;
+  std::stringstream snapshot;
+  if (!detect::SaveCheckpoint(detector, snapshot)) {
+    std::fprintf(stderr, "save failed\n");
+    return 1;
+  }
+  const double save_s = save_watch.ElapsedSeconds();
+  const std::string bytes = snapshot.str();
+
+  eval::Stopwatch load_watch;
+  auto restored = detect::LoadCheckpoint(snapshot, &trace.dictionary);
+  const double native_s = load_watch.ElapsedSeconds();
+  if (restored == nullptr) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  // --- the replaced replay path: re-process the last 3w quanta ---
+  const std::size_t replay_span =
+      std::min(warmup, 3 * config.akg.window_length);
+  eval::Stopwatch replay_watch;
+  detect::EventDetector replayed(config, &trace.dictionary);
+  for (std::size_t q = warmup - replay_span; q < warmup; ++q) {
+    replayed.ProcessQuantum(quanta[q]);
+  }
+  const double replay_s = replay_watch.ElapsedSeconds();
+
+  // Equivalence spot check: the native restore continues bit-identically.
+  const detect::QuantumReport expected =
+      detector.ProcessQuantum(quanta[warmup]);
+  const detect::QuantumReport actual =
+      restored->ProcessQuantum(quanta[warmup]);
+  const bool identical =
+      detect::ReportDigest(expected) == detect::ReportDigest(actual);
+
+  std::printf("snapshot size        : %9.1f KiB\n", bytes.size() / 1024.0);
+  std::printf("native save          : %9.3f ms\n", save_s * 1e3);
+  std::printf("native load          : %9.3f ms\n", native_s * 1e3);
+  std::printf("replay restore (3w)  : %9.3f ms   (the replaced v1 path)\n",
+              replay_s * 1e3);
+  std::printf("speedup              : %9.1fx\n",
+              native_s > 0 ? replay_s / native_s : 0.0);
+  std::printf("post-restore reports : %s\n",
+              identical ? "bit-identical" : "DIVERGED (bug!)");
+
+  if (threads > 0) {
+    std::stringstream in(bytes);
+    eval::Stopwatch engine_watch;
+    auto engine = engine::ParallelDetector::LoadCheckpoint(
+        in, &trace.dictionary, threads);
+    const double engine_s = engine_watch.ElapsedSeconds();
+    if (engine == nullptr) {
+      std::fprintf(stderr, "engine load failed\n");
+      return 1;
+    }
+    std::printf("engine load (%2zu thr) : %9.3f ms (same snapshot, sharded "
+                "engine)\n",
+                engine->threads(), engine_s * 1e3);
+  }
+  return identical ? 0 : 1;
+}

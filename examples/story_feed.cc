@@ -10,7 +10,9 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "common/binary_io.h"
 #include "detect/checkpoint.h"
 #include "detect/detector.h"
 #include "detect/feed.h"
@@ -66,23 +68,33 @@ int main() {
     }
   }
 
-  // Simulated crash: persist, drop everything, restore. The EventFeed's
-  // dedupe memory absorbs the re-announcements the replay produces.
+  // Simulated crash: persist the native structural snapshot (detector AND
+  // feed — cluster ids are stable across the restore, so the feed's
+  // exactly-once memory stays valid), drop everything, restore.
   std::printf("\n--- crash! checkpointing and restoring ---\n");
   std::stringstream checkpoint;
   if (!detect::SaveCheckpoint(detector, checkpoint)) {
     std::fprintf(stderr, "checkpoint failed\n");
     return 1;
   }
-  std::printf("checkpoint size: %zu bytes (%zu window quanta + %zu pending "
-              "messages)\n",
-              checkpoint.str().size(), detector.window().size(),
+  BinaryWriter feed_snapshot;
+  feed.Save(feed_snapshot);
+  std::printf("checkpoint size: %zu bytes detector + %zu bytes feed "
+              "(%zu pending messages)\n",
+              checkpoint.str().size(), feed_snapshot.size(),
               detector.pending_messages().size());
   auto restored = detect::LoadCheckpoint(checkpoint, &trace.dictionary);
   if (restored == nullptr) {
     std::fprintf(stderr, "restore failed\n");
     return 1;
   }
+  detect::EventFeed restored_feed;
+  BinaryReader feed_reader(feed_snapshot.data());
+  if (!restored_feed.Restore(feed_reader)) {
+    std::fprintf(stderr, "feed restore failed\n");
+    return 1;
+  }
+  feed = std::move(restored_feed);
 
   std::printf("\n--- phase 2: streaming the remaining %zu messages ---\n",
               trace.messages.size() - crash_at);

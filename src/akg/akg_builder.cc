@@ -199,4 +199,124 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   return delta;
 }
 
+void AkgBuilder::Save(BinaryWriter& out) const {
+  out.I64(now_);
+  id_sets_.Save(out);
+  node_state_.Save(out);
+  akg_.Save(out);
+
+  std::vector<KeywordId> signed_keywords;
+  signed_keywords.reserve(signatures_.size());
+  for (const auto& [keyword, _] : signatures_) {
+    signed_keywords.push_back(keyword);
+  }
+  std::sort(signed_keywords.begin(), signed_keywords.end());
+  out.U64(signed_keywords.size());
+  for (KeywordId keyword : signed_keywords) {
+    const MinHashSignature& sig = signatures_.at(keyword);
+    out.U32(keyword);
+    out.U32(static_cast<std::uint32_t>(sig.size()));
+    for (std::uint64_t value : sig) out.U64(value);
+  }
+
+  std::vector<Edge> ec_edges;
+  ec_edges.reserve(edge_ec_.size());
+  for (const auto& [e, _] : edge_ec_) ec_edges.push_back(e);
+  std::sort(ec_edges.begin(), ec_edges.end());
+  out.U64(ec_edges.size());
+  for (const Edge& e : ec_edges) {
+    out.U32(e.u);
+    out.U32(e.v);
+    out.F64(edge_ec_.at(e));
+  }
+
+  out.U64(last_stats_.ckg_nodes);
+  out.U64(last_stats_.quantum_keywords);
+  out.U64(last_stats_.akg_nodes);
+  out.U64(last_stats_.akg_edges);
+  out.U64(last_stats_.bursty);
+  out.U64(last_stats_.pairs_screened);
+  out.U64(last_stats_.ec_computed);
+}
+
+bool AkgBuilder::Restore(BinaryReader& in) {
+  const auto reset = [this] {
+    akg_.Clear();
+    edge_ec_.clear();
+    signatures_.clear();
+    last_stats_ = AkgQuantumStats{};
+    now_ = 0;
+  };
+  reset();
+  now_ = in.I64();
+  if (!id_sets_.Restore(in) || !node_state_.Restore(in) ||
+      !akg_.Restore(in)) {
+    reset();
+    return false;
+  }
+
+  const std::size_t p = hasher_.p();
+  const std::uint64_t signatures = in.U64();
+  bool valid = in.CheckLength(signatures, 4 + 4 + 8);
+  for (std::uint64_t i = 0; valid && i < signatures; ++i) {
+    const KeywordId keyword = in.U32();
+    const std::uint32_t length = in.U32();
+    // A signature holds at most p values by construction.
+    if (length > p || !in.CheckLength(length, 8)) {
+      valid = false;
+      break;
+    }
+    MinHashSignature sig(length);
+    for (std::uint32_t j = 0; j < length; ++j) sig[j] = in.U64();
+    if (!in.ok() || !std::is_sorted(sig.begin(), sig.end()) ||
+        !signatures_.emplace(keyword, std::move(sig)).second) {
+      valid = false;
+      break;
+    }
+  }
+
+  const std::uint64_t correlations = valid ? in.U64() : 0;
+  valid = valid && in.CheckLength(correlations, 4 + 4 + 8);
+  for (std::uint64_t i = 0; valid && i < correlations; ++i) {
+    const KeywordId u = in.U32();
+    const KeywordId v = in.U32();
+    const double ec = in.F64();
+    // Correlations exist exactly for AKG edges, in [0, 1].
+    if (!in.ok() || u >= v || !akg_.HasEdge(u, v) || !(ec >= 0.0) ||
+        !(ec <= 1.0) ||
+        !edge_ec_.emplace(Edge{u, v}, ec).second) {
+      valid = false;
+      break;
+    }
+  }
+  valid = valid && correlations == akg_.edge_count();
+
+  // The lazy re-validation loop calls signatures_.at() on every AKG edge
+  // endpoint, so that invariant must hold even for a forged payload with a
+  // valid CRC — reject rather than crash later.
+  if (valid) {
+    for (const Edge& e : akg_.Edges()) {
+      if (signatures_.count(e.u) == 0 || signatures_.count(e.v) == 0) {
+        valid = false;
+        break;
+      }
+    }
+  }
+
+  last_stats_.ckg_nodes = in.U64();
+  last_stats_.quantum_keywords = in.U64();
+  last_stats_.akg_nodes = in.U64();
+  last_stats_.akg_edges = in.U64();
+  last_stats_.bursty = in.U64();
+  last_stats_.pairs_screened = in.U64();
+  last_stats_.ec_computed = in.U64();
+
+  if (!valid || !in.ok()) {
+    reset();
+    in.Fail();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace scprt::akg

@@ -15,6 +15,7 @@
 #include "akg/minhash.h"
 #include "akg/node_state.h"
 #include "akg/quantum_aggregate.h"
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
 #include "stream/message.h"
@@ -107,6 +108,17 @@ class AkgBuilder {
   const NodeStateAutomaton& node_state() const { return node_state_; }
   const AkgQuantumStats& last_stats() const { return last_stats_; }
   const AkgConfig& config() const { return config_; }
+
+  /// Serializes every derived structure of the AKG layer — id-set window
+  /// histories, node automaton, Min-Hash signatures, edge correlations
+  /// (bit-exact doubles), the graph and the quantum clock — in canonical
+  /// order. The hash function itself is config-derived and not stored.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this builder's state with Save()'s encoding. Must be called
+  /// on a builder constructed with the same AkgConfig. Returns false on
+  /// malformed input; the builder is reset to empty in that case.
+  bool Restore(BinaryReader& in);
 
  private:
   AkgConfig config_;

@@ -158,4 +158,85 @@ std::size_t UserIdSets::active_keywords() const {
   return total;
 }
 
+void UserIdSets::Save(BinaryWriter& out) const {
+  SCPRT_CHECK(!quantum_open_);
+  out.U32(static_cast<std::uint32_t>(kIdSetShards));
+  out.U64(window_length_);
+  for (const Shard& shard : shards_) {
+    out.U32(static_cast<std::uint32_t>(shard.history.size()));
+    for (const auto& entry : shard.history) {
+      std::vector<std::pair<KeywordId, UserId>> sorted = entry;
+      std::sort(sorted.begin(), sorted.end());
+      out.U64(sorted.size());
+      for (const auto& [keyword, user] : sorted) {
+        out.U32(keyword);
+        out.U32(user);
+      }
+    }
+  }
+}
+
+bool UserIdSets::Restore(BinaryReader& in) {
+  const auto reset = [this] {
+    shards_.assign(kIdSetShards, Shard{});
+    last_quantum_keywords_.clear();
+    quantum_open_ = false;
+  };
+  reset();
+  if (in.U32() != kIdSetShards || in.U64() != window_length_) {
+    in.Fail();
+    return false;
+  }
+  std::uint32_t depth0 = 0;
+  for (std::size_t s = 0; s < kIdSetShards; ++s) {
+    Shard& shard = shards_[s];
+    const std::uint32_t depth = in.U32();
+    if (s == 0) depth0 = depth;
+    // Every quantum pushes one entry into every shard, so depths must
+    // agree (and never exceed the window).
+    if (depth != depth0 || depth > window_length_) {
+      in.Fail();
+      break;
+    }
+    for (std::uint32_t q = 0; q < depth; ++q) {
+      const std::uint64_t pairs = in.U64();
+      if (!in.CheckLength(pairs, 8)) break;
+      std::vector<std::pair<KeywordId, UserId>> entry;
+      entry.reserve(pairs);
+      for (std::uint64_t i = 0; i < pairs; ++i) {
+        const KeywordId keyword = in.U32();
+        const UserId user = in.U32();
+        // Canonical form: strictly ascending (so pairs are distinct) and
+        // shard-local keywords.
+        if (ShardOf(keyword) != s ||
+            (!entry.empty() && entry.back() >= std::pair{keyword, user})) {
+          in.Fail();
+          break;
+        }
+        entry.emplace_back(keyword, user);
+      }
+      if (!in.ok()) break;
+      const bool last = q + 1 == depth;
+      for (const auto& [keyword, user] : entry) {
+        ++shard.window[keyword][user];
+        if (last) {
+          if (shard.last_quantum_keywords.empty() ||
+              shard.last_quantum_keywords.back() != keyword) {
+            shard.last_quantum_keywords.push_back(keyword);
+          }
+          ++shard.last_quantum_support[keyword];
+        }
+      }
+      shard.history.push_back(std::move(entry));
+    }
+    if (!in.ok()) break;
+  }
+  if (!in.ok()) {
+    reset();
+    return false;
+  }
+  MergeQuantumKeywords();
+  return true;
+}
+
 }  // namespace scprt::akg

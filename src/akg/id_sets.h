@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "akg/quantum_aggregate.h"
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "common/types.h"
 
@@ -79,6 +80,16 @@ class UserIdSets {
 
   /// Number of keywords with non-empty window id sets.
   std::size_t active_keywords() const;
+
+  /// Serializes the per-shard quantum histories (the minimal generating
+  /// state: window aggregates and last-quantum views are folds of it), in
+  /// canonical (keyword, user)-sorted order. Must be called between quanta.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this store with Save()'s encoding, refolding the histories
+  /// into window aggregates. Returns false on malformed input (shard count
+  /// or history depth mismatch, overrun); the store is cleared then.
+  bool Restore(BinaryReader& in);
 
  private:
   using UserCounts = std::unordered_map<UserId, std::uint32_t>;

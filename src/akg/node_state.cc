@@ -76,4 +76,77 @@ NodeStateUpdate NodeStateAutomaton::ProcessQuantum(
   return update;
 }
 
+namespace {
+
+void SaveStampMap(BinaryWriter& out,
+                  const std::unordered_map<KeywordId, QuantumIndex>& map) {
+  std::vector<std::pair<KeywordId, QuantumIndex>> sorted(map.begin(),
+                                                         map.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.U64(sorted.size());
+  for (const auto& [keyword, stamp] : sorted) {
+    out.U32(keyword);
+    out.I64(stamp);
+  }
+}
+
+bool RestoreStampMap(BinaryReader& in,
+                     std::unordered_map<KeywordId, QuantumIndex>& map) {
+  map.clear();
+  const std::uint64_t count = in.U64();
+  if (!in.CheckLength(count, 12)) return false;
+  map.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const KeywordId keyword = in.U32();
+    const QuantumIndex stamp = in.I64();
+    if (!in.ok() || !map.emplace(keyword, stamp).second) {
+      in.Fail();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void NodeStateAutomaton::Save(BinaryWriter& out) const {
+  SaveStampMap(out, last_seen_);
+  SaveStampMap(out, last_bursty_);
+  std::vector<KeywordId> members;
+  members.reserve(akg_.size());
+  for (const auto& [keyword, _] : akg_) members.push_back(keyword);
+  std::sort(members.begin(), members.end());
+  out.U64(members.size());
+  for (KeywordId keyword : members) out.U32(keyword);
+}
+
+bool NodeStateAutomaton::Restore(BinaryReader& in) {
+  akg_.clear();
+  if (!RestoreStampMap(in, last_seen_) ||
+      !RestoreStampMap(in, last_bursty_)) {
+    last_seen_.clear();
+    last_bursty_.clear();
+    return false;
+  }
+  const std::uint64_t members = in.U64();
+  bool valid = in.CheckLength(members, 4);
+  for (std::uint64_t i = 0; valid && i < members; ++i) {
+    const KeywordId keyword = in.U32();
+    // Every member must carry a last-seen stamp (the eviction sweep
+    // dereferences it).
+    if (!in.ok() || last_seen_.count(keyword) == 0 ||
+        !akg_.emplace(keyword, true).second) {
+      valid = false;
+    }
+  }
+  if (!valid || !in.ok()) {
+    last_seen_.clear();
+    last_bursty_.clear();
+    akg_.clear();
+    in.Fail();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace scprt::akg

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/types.h"
 
 namespace scprt::akg {
@@ -63,6 +64,14 @@ class NodeStateAutomaton {
   std::size_t tracked_keywords() const { return last_seen_.size(); }
 
   std::uint32_t high_threshold() const { return high_threshold_; }
+
+  /// Serializes the automaton (last-seen / last-bursty stamps and AKG
+  /// membership) keyword-sorted, so equal states give identical bytes.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this automaton's state with Save()'s encoding. Returns false
+  /// on malformed input; the automaton is cleared then.
+  bool Restore(BinaryReader& in);
 
  private:
   std::uint32_t high_threshold_;

@@ -1,5 +1,6 @@
 #include "cluster/cluster_set.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -116,6 +117,78 @@ bool ClusterSet::NodeInAnyCluster(NodeId n) const {
 std::size_t ClusterSet::ClusterCountOf(NodeId n) const {
   auto it = node_membership_.find(n);
   return it == node_membership_.end() ? 0 : it->second;
+}
+
+void ClusterSet::Save(BinaryWriter& out) const {
+  out.U64(next_id_);
+  std::vector<ClusterId> ids;
+  ids.reserve(clusters_.size());
+  for (const auto& [id, _] : clusters_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.U64(ids.size());
+  for (ClusterId id : ids) {
+    const Cluster& cluster = *clusters_.at(id);
+    out.U64(id);
+    out.I64(cluster.born_at);
+    const std::vector<Edge> edges = cluster.SortedEdges();
+    out.U64(edges.size());
+    for (const Edge& e : edges) {
+      out.U32(e.u);
+      out.U32(e.v);
+    }
+  }
+}
+
+bool ClusterSet::Restore(BinaryReader& in) {
+  clusters_.clear();
+  edge_owner_.clear();
+  node_membership_.clear();
+  next_id_ = in.U64();
+  const std::uint64_t count = in.U64();
+  // A cluster needs id + born_at + edge count + >= 1 edge.
+  if (!in.CheckLength(count, 8 + 8 + 8 + 8)) {
+    next_id_ = 0;  // "left empty" includes the id counter
+    return false;
+  }
+  bool valid = true;
+  for (std::uint64_t i = 0; i < count && valid; ++i) {
+    const ClusterId id = in.U64();
+    const QuantumIndex born = in.I64();
+    const std::uint64_t edges = in.U64();
+    if (!in.CheckLength(edges, 8) || edges == 0 || id >= next_id_ ||
+        clusters_.count(id) != 0) {
+      valid = false;
+      break;
+    }
+    auto cluster = std::make_unique<Cluster>(id);
+    cluster->born_at = born;
+    for (std::uint64_t j = 0; j < edges; ++j) {
+      const NodeId u = in.U32();
+      const NodeId v = in.U32();
+      if (!in.ok() || u >= v) {  // normalized form required
+        valid = false;
+        break;
+      }
+      const Edge e{u, v};
+      if (edge_owner_.count(e) != 0 || !cluster->InsertEdge(e)) {
+        valid = false;  // edge-disjointness violated
+        break;
+      }
+      edge_owner_.emplace(e, id);
+    }
+    if (valid) {
+      for (const auto& [n, _] : cluster->node_degrees()) IncNodeRef(n);
+      clusters_.emplace(id, std::move(cluster));
+    }
+  }
+  if (!valid || !in.ok()) {
+    clusters_.clear();
+    edge_owner_.clear();
+    node_membership_.clear();
+    next_id_ = 0;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace scprt::cluster

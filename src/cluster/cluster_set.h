@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/binary_io.h"
 
 namespace scprt::cluster {
 
@@ -69,6 +70,17 @@ class ClusterSet {
 
   /// Total edges across clusters (each edge counted once).
   std::size_t total_edges() const { return edge_owner_.size(); }
+
+  /// Serializes the whole set — live cluster ids, birth stamps and edge
+  /// sets, plus the id counter — in canonical (id-ascending, edge-sorted)
+  /// order. Restored ids are the saved ids: this is what keeps cluster
+  /// identity stable across a checkpoint restore.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this set with Save()'s encoding. Returns false on malformed
+  /// input (empty cluster, id >= saved counter, edge owned twice); the set
+  /// is left empty in that case.
+  bool Restore(BinaryReader& in);
 
  private:
   void IncNodeRef(NodeId n);

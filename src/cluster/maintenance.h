@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/cluster_set.h"
+#include "common/binary_io.h"
 #include "graph/graph.h"
 
 namespace scprt::cluster {
@@ -82,6 +83,17 @@ class ScpMaintainer {
   /// Verifies edge ownership maps, SCP of every cluster, edge-disjointness
   /// and agreement with the canonical offline clustering.
   bool ValidateInvariants() const;
+
+  /// Serializes graph + clustering + counters in canonical order. Restoring
+  /// reproduces cluster ids, birth stamps and the id counter exactly, so
+  /// maintenance resumed after a restore assigns the same ids a
+  /// never-restarted maintainer would.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this maintainer's state with Save()'s encoding. Returns false
+  /// on malformed input (including cluster edges absent from the graph);
+  /// the maintainer is left empty in that case.
+  bool Restore(BinaryReader& in);
 
  private:
   /// Folds all short cycles through existing edge {a, b} into one cluster.

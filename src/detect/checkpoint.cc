@@ -1,133 +1,119 @@
 #include "detect/checkpoint.h"
 
 #include <fstream>
-#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "detect/snapshot_io.h"
 
 namespace scprt::detect {
 
-namespace {
+namespace sio = snapshot_io;
 
-constexpr char kMagic[] = "scprt-ckpt";
-constexpr int kVersion = 1;
-
-void WriteMessage(std::ostream& out, const stream::Message& m) {
-  out << "M " << m.seq << ' ' << m.user << ' ' << m.event_id;
-  for (KeywordId k : m.keywords) out << ' ' << k;
-  out << '\n';
-}
-
-bool ReadMessage(std::istringstream& ls, stream::Message& m) {
-  if (!(ls >> m.seq >> m.user >> m.event_id)) return false;
-  KeywordId k;
-  while (ls >> k) m.keywords.push_back(k);
-  return true;
-}
-
-}  // namespace
-
-bool SaveCheckpoint(const EventDetector& detector, std::ostream& out) {
-  const DetectorConfig& config = detector.config();
-  out << kMagic << ' ' << kVersion << '\n';
-  out << "C " << config.quantum_size << ' '
-      << config.akg.high_state_threshold << ' ' << config.akg.ec_threshold
-      << ' ' << config.akg.window_length << ' ' << config.akg.minhash_size
-      << ' ' << static_cast<int>(config.akg.ec_mode) << ' '
-      << config.akg.seed << ' ' << config.min_event_nodes << ' '
-      << config.min_rank_margin << ' ' << (config.require_noun ? 1 : 0)
-      << '\n';
-  for (const stream::Quantum& quantum : detector.window().quanta()) {
-    out << "Q " << quantum.index << '\n';
-    for (const stream::Message& m : quantum.messages) WriteMessage(out, m);
-  }
-  out << "P\n";  // partial quantum follows
-  for (const stream::Message& m : detector.pending_messages()) {
-    WriteMessage(out, m);
-  }
-  return static_cast<bool>(out);
+bool SaveCheckpoint(const EventDetector& detector, std::ostream& out,
+                    std::uint64_t* checkpoint_id) {
+  BinaryWriter payload;
+  sio::WriteConfig(payload, detector.config());
+  detector.SaveState(payload);
+  return sio::WriteFrame(out, sio::FrameKind::kFull, payload.data(),
+                         checkpoint_id);
 }
 
 bool SaveCheckpointFile(const EventDetector& detector,
-                        const std::string& path) {
-  std::ofstream out(path);
+                        const std::string& path,
+                        std::uint64_t* checkpoint_id) {
+  std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  return SaveCheckpoint(detector, out);
+  return SaveCheckpoint(detector, out, checkpoint_id);
 }
 
 std::unique_ptr<EventDetector> LoadCheckpoint(
-    std::istream& in, const text::KeywordDictionary* dictionary) {
-  std::string line;
-  if (!std::getline(in, line)) return nullptr;
-  {
-    std::istringstream header(line);
-    std::string magic;
-    int version = 0;
-    header >> magic >> version;
-    if (magic != kMagic || version != kVersion) return nullptr;
-  }
-  if (!std::getline(in, line) || line.empty() || line[0] != 'C') {
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id) {
+  std::string payload;
+  std::uint64_t id = 0;
+  if (!sio::ReadFrame(in, sio::FrameKind::kFull, payload, &id)) {
     return nullptr;
   }
+  BinaryReader reader(payload);
   DetectorConfig config;
-  {
-    std::istringstream ls(line);
-    std::string tag;
-    int ec_mode = 0, require_noun = 0;
-    if (!(ls >> tag >> config.quantum_size >>
-          config.akg.high_state_threshold >> config.akg.ec_threshold >>
-          config.akg.window_length >> config.akg.minhash_size >> ec_mode >>
-          config.akg.seed >> config.min_event_nodes >>
-          config.min_rank_margin >> require_noun)) {
-      return nullptr;
-    }
-    config.akg.ec_mode = static_cast<akg::EcMode>(ec_mode);
-    config.require_noun = require_noun != 0;
-  }
-
+  if (!sio::ReadConfig(reader, config)) return nullptr;
   auto detector = std::make_unique<EventDetector>(config, dictionary);
-  stream::Quantum current;
-  bool in_quantum = false;
-  bool in_pending = false;
-  auto flush_quantum = [&] {
-    if (in_quantum) detector->ProcessQuantum(current);
-    current = stream::Quantum{};
-    in_quantum = false;
-  };
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    if (tag == "Q") {
-      flush_quantum();
-      if (!(ls >> current.index)) return nullptr;
-      in_quantum = true;
-      in_pending = false;
-    } else if (tag == "P") {
-      flush_quantum();
-      in_pending = true;
-    } else if (tag == "M") {
-      stream::Message m;
-      if (!ReadMessage(ls, m)) return nullptr;
-      if (in_pending) {
-        detector->Push(std::move(m));
-      } else if (in_quantum) {
-        current.messages.push_back(std::move(m));
-      } else {
-        return nullptr;
-      }
-    } else {
-      return nullptr;
-    }
+  if (!detector->RestoreState(reader) || reader.remaining() != 0) {
+    return nullptr;
   }
-  flush_quantum();
+  if (checkpoint_id != nullptr) *checkpoint_id = id;
   return detector;
 }
 
 std::unique_ptr<EventDetector> LoadCheckpointFile(
-    const std::string& path, const text::KeywordDictionary* dictionary) {
-  std::ifstream in(path);
+    const std::string& path, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
-  return LoadCheckpoint(in, dictionary);
+  return LoadCheckpoint(in, dictionary, checkpoint_id);
+}
+
+bool SaveDeltaCheckpoint(const EventDetector& detector,
+                         std::uint64_t base_id,
+                         const std::vector<stream::Quantum>& quanta_since_base,
+                         std::ostream& out) {
+  BinaryWriter payload;
+  sio::WriteDelta(payload, base_id, detector.next_quantum_index(),
+                  quanta_since_base, detector.pending_messages());
+  return sio::WriteFrame(out, sio::FrameKind::kDelta, payload.data());
+}
+
+bool ApplyDeltaCheckpoint(EventDetector& detector, std::istream& in,
+                          std::uint64_t expected_base_id) {
+  sio::DeltaPayload delta;
+  if (!sio::ReadAndValidateDelta(in, expected_base_id,
+                                 detector.next_quantum_index(),
+                                 detector.config().quantum_size, delta)) {
+    return false;
+  }
+  // Everything validated — replay the bounded span. Re-processing is
+  // deterministic, so the detector converges to the exact delta-save
+  // state. The base's pending partial quantum is superseded: its messages
+  // are the head of the delta's first quantum (or of the delta's own
+  // pending when no quantum closed since the base).
+  detector.TakePendingMessages();
+  for (const stream::Quantum& quantum : delta.quanta) {
+    detector.ProcessQuantum(quantum);
+  }
+  for (const stream::Message& m : delta.pending) {
+    detector.Push(m);
+  }
+  return true;
+}
+
+CheckpointManager::CheckpointManager(std::size_t full_interval)
+    : full_interval_(full_interval) {
+  SCPRT_CHECK(full_interval >= 1);
+}
+
+void CheckpointManager::Record(const stream::Quantum& quantum) {
+  log_.push_back(quantum);
+}
+
+bool CheckpointManager::full_due() const {
+  return !have_base_ || log_.size() >= full_interval_;
+}
+
+bool CheckpointManager::SaveFull(const EventDetector& detector,
+                                 std::ostream& out) {
+  std::uint64_t id = 0;
+  if (!SaveCheckpoint(detector, out, &id)) return false;
+  base_id_ = id;
+  have_base_ = true;
+  log_.clear();
+  return true;
+}
+
+bool CheckpointManager::SaveDelta(const EventDetector& detector,
+                                  std::ostream& out) const {
+  if (!have_base_) return false;
+  return SaveDeltaCheckpoint(detector, base_id_, log_, out);
 }
 
 }  // namespace scprt::detect

@@ -1,57 +1,138 @@
 // Checkpoint / recovery for the streaming detector.
 //
-// Strategy: replay-based warm restart. The id sets and edge correlations
-// are functions of the last w quanta; the node/edge hysteresis (keywords
-// retained while clustered, Section 3.1) can additionally depend on bursts
-// slightly older than w. A checkpoint therefore stores the last
-// w * DetectorConfig::checkpoint_retention quanta of raw messages plus the
-// partial quantum under accumulation and the configuration; restoring
-// replays them through a fresh detector.
+// Strategy: native structural snapshots. A checkpoint serializes the
+// derived state itself — the id-set window histories, node automaton,
+// Min-Hash signatures and edge correlations of the AKG layer, the graph and
+// its SCP clusters (with their ids, birth stamps and the id counter), the
+// rank-tracker histories, the first-report set, and the quantizer clock
+// with the partial quantum — framed and CRC-protected by
+// detect/snapshot_io.h. Restoring deserializes those structures directly:
 //
-// Semantics and caveats (deliberate, documented trade-offs):
-//   * Window-derived state (id sets, correlations, burstiness) is exactly
-//     reconstructed; hysteresis-carried state (a cluster kept alive by
-//     retention whose last burst predates the retained span) can differ —
-//     raise checkpoint_retention to tighten. In practice reports converge
-//     to the reference within a few quanta (see checkpoint_test.cc).
-//   * Cluster ids and birth stamps are rebuilt during replay, so ids are
-//     not stable across a restore, and the first-report ("NEW") markers
-//     fire again for live events. Consumers needing exactly-once report
-//     semantics should dedupe by keyword set downstream.
-//   * Keyword ids are dictionary-relative; restore with the same
-//     dictionary (or a superset that preserves ids).
+//   * Restore cost is O(|state|), independent of the traffic that produced
+//     it (no replay of w quanta of raw messages).
+//   * Cluster ids and birth stamps survive the restore, so event identity
+//     is continuous across a crash and "NEW" markers do not refire.
+//   * The subsequent report stream is bit-identical to a never-restarted
+//     detector's — including rank values, hysteresis decisions and
+//     spuriousness verdicts (tests/checkpoint_property_test.cc proves it
+//     for the serial detector and the sharded engine alike).
+//   * Corrupt input (truncation, bit flips, version skew, forged lengths)
+//     makes LoadCheckpoint return nullptr; it never crashes, aborts or
+//     over-allocates (tests/checkpoint_fuzz_test.cc).
 //
-// Format: the scprt-ckpt header carrying the config, then the window's
-// quanta and pending messages in the trace text format's message notation.
+// Keyword ids are dictionary-relative; restore with the same dictionary (or
+// a superset that preserves ids).
+//
+// Delta checkpoints: between full snapshots, SaveDeltaCheckpoint persists
+// only the quanta processed since the base full snapshot (plus the pending
+// partial quantum). Restore = load the base natively, then apply the latest
+// delta, which re-processes that bounded span deterministically. Deltas
+// chain to their base by the base's checkpoint id (its payload CRC);
+// applying a delta to the wrong base is rejected. CheckpointManager
+// packages the bookkeeping (quantum log, base id, full-snapshot cadence).
+//
+// The sharded engine checkpoints through the same format — see
+// engine/parallel_detector.h; snapshots are interchangeable between the
+// serial detector and the engine at any thread count.
 
 #ifndef SCPRT_DETECT_CHECKPOINT_H_
 #define SCPRT_DETECT_CHECKPOINT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "detect/detector.h"
 
 namespace scprt::detect {
 
-/// Writes a checkpoint of `detector` to `out`. Returns false on stream
-/// failure.
-bool SaveCheckpoint(const EventDetector& detector, std::ostream& out);
+/// Writes a full native snapshot of `detector` to `out`. `checkpoint_id`
+/// (optional out) receives the snapshot's id, which a later delta chains
+/// to. Returns false on stream failure.
+bool SaveCheckpoint(const EventDetector& detector, std::ostream& out,
+                    std::uint64_t* checkpoint_id = nullptr);
 
 /// Saves to a file path.
 bool SaveCheckpointFile(const EventDetector& detector,
-                        const std::string& path);
+                        const std::string& path,
+                        std::uint64_t* checkpoint_id = nullptr);
 
-/// Restores a detector from a checkpoint. The stored configuration is used;
-/// `dictionary` follows the EventDetector constructor contract. Returns
-/// nullptr on malformed input.
+/// Restores a detector from a full snapshot. The stored configuration is
+/// used; `dictionary` follows the EventDetector constructor contract.
+/// `checkpoint_id` (optional out) receives the snapshot's id for delta
+/// chaining. Returns nullptr on malformed input.
 std::unique_ptr<EventDetector> LoadCheckpoint(
-    std::istream& in, const text::KeywordDictionary* dictionary);
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id = nullptr);
 
 /// Loads from a file path.
 std::unique_ptr<EventDetector> LoadCheckpointFile(
-    const std::string& path, const text::KeywordDictionary* dictionary);
+    const std::string& path, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id = nullptr);
+
+/// Writes a delta checkpoint: the quanta processed since the base full
+/// snapshot identified by `base_id` (oldest first), plus `detector`'s
+/// current pending partial quantum and clock. Returns false on stream
+/// failure. Serial detectors only — an engine's pending messages live in
+/// its outer quantizer, so engine deltas go through
+/// ParallelDetector::SaveDeltaCheckpoint.
+bool SaveDeltaCheckpoint(const EventDetector& detector,
+                         std::uint64_t base_id,
+                         const std::vector<stream::Quantum>& quanta_since_base,
+                         std::ostream& out);
+
+/// Applies a delta to `detector`, which must have just been restored from
+/// the delta's base full snapshot (enforced via `expected_base_id`).
+/// Parses and validates the whole delta before touching the detector;
+/// returns false (detector unchanged) on malformed input or base mismatch.
+bool ApplyDeltaCheckpoint(EventDetector& detector, std::istream& in,
+                          std::uint64_t expected_base_id);
+
+/// Cadence bookkeeping for a full + delta checkpoint schedule: records the
+/// quanta processed since the last full snapshot and remembers the base id
+/// deltas must chain to. The caller drives quanta explicitly (split a live
+/// stream with stream::Quantizer / SplitIntoQuanta), so it has each
+/// quantum in hand to record:
+///
+///   for (const stream::Quantum& quantum : quanta) {
+///     detector.ProcessQuantum(quantum);
+///     manager.Record(quantum);
+///     if (manager.full_due()) manager.SaveFull(detector, full_stream);
+///     else manager.SaveDelta(detector, delta_stream);
+///   }
+class CheckpointManager {
+ public:
+  /// `full_interval`: quanta between full snapshots (>= 1).
+  explicit CheckpointManager(std::size_t full_interval = 16);
+
+  /// Records one processed quantum into the delta log.
+  void Record(const stream::Quantum& quantum);
+
+  /// True when the delta log has reached the full-snapshot interval (or no
+  /// full snapshot was taken yet).
+  bool full_due() const;
+
+  /// Saves a full snapshot and resets the delta log. Returns false on
+  /// stream failure (the log is kept then).
+  bool SaveFull(const EventDetector& detector, std::ostream& out);
+
+  /// Saves a delta against the last full snapshot. Requires SaveFull to
+  /// have succeeded at least once.
+  bool SaveDelta(const EventDetector& detector, std::ostream& out) const;
+
+  /// Id of the last full snapshot (0 before the first SaveFull).
+  std::uint64_t base_id() const { return base_id_; }
+
+  std::size_t quanta_since_full() const { return log_.size(); }
+
+ private:
+  std::size_t full_interval_;
+  std::uint64_t base_id_ = 0;
+  bool have_base_ = false;
+  std::vector<stream::Quantum> log_;
+};
 
 }  // namespace scprt::detect
 

@@ -32,13 +32,6 @@ struct DetectorConfig {
   /// Report filter 2 (Section 7.2.2): drop clusters with no noun keyword.
   /// Requires a dictionary to be attached to the detector.
   bool require_noun = true;
-
-  /// Raw quanta retained for checkpoint/replay, as a multiple of the window
-  /// length w. The node/edge hysteresis (Section 3.1: keywords stay in the
-  /// AKG while clustered) can depend on history slightly older than w, so
-  /// replaying more than w quanta tightens restore fidelity. 1 = minimum;
-  /// 3 reconstructs all state whose supporting bursts are within 3w.
-  std::size_t checkpoint_retention = 3;
 };
 
 }  // namespace scprt::detect

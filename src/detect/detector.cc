@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "detect/snapshot_io.h"
 #include "rank/ranking.h"
 
 namespace scprt::detect {
@@ -20,9 +21,7 @@ EventDetector::EventDetector(const DetectorConfig& config,
            [this](KeywordId k) {
              return maintainer_.clusters().NodeInAnyCluster(k);
            }),
-      quantizer_(config.quantum_size),
-      window_(config.akg.window_length *
-              std::max<std::size_t>(1, config.checkpoint_retention)) {}
+      quantizer_(config.quantum_size) {}
 
 std::optional<QuantumReport> EventDetector::Push(
     const stream::Message& message) {
@@ -48,7 +47,6 @@ QuantumReport EventDetector::ProcessQuantumWithAggregate(
   if (quantizer_.next_index() <= quantum.index) {
     quantizer_.SetNextIndex(quantum.index + 1);
   }
-  window_.Push(quantum);  // retained for checkpoint/replay
   const akg::GraphDelta delta = akg_.ProcessAggregate(aggregate);
 
   // Structural application order: node evictions (which drop their incident
@@ -98,8 +96,11 @@ EventSnapshot EventDetector::SnapshotCore(ClusterId id,
   snap.node_count = cluster.node_count();
   snap.edge_count = cluster.edge_count();
   snap.rank = rank::ClusterRank(cluster, ec, weight);
+  // Sorted edge order: canonical float accumulation (see rank/ranking.cc).
   double ec_sum = 0.0;
-  for (const Edge& e : cluster.edges()) ec_sum += akg_.EdgeCorrelation(e);
+  for (const Edge& e : cluster.SortedEdges()) {
+    ec_sum += akg_.EdgeCorrelation(e);
+  }
   snap.avg_ec = cluster.edge_count() == 0
                     ? 0.0
                     : ec_sum / static_cast<double>(cluster.edge_count());
@@ -157,6 +158,50 @@ std::vector<EventSnapshot> EventDetector::SnapshotEvents(QuantumIndex now) {
               return a.cluster_id < b.cluster_id;
             });
   return snapshots;
+}
+
+void EventDetector::SaveState(
+    BinaryWriter& out, const stream::Quantizer* quantizer_override) const {
+  const stream::Quantizer& quantizer =
+      quantizer_override != nullptr ? *quantizer_override : quantizer_;
+  out.I64(quantizer.next_index());
+  snapshot_io::WriteMessages(out, quantizer.pending());
+  akg_.Save(out);
+  maintainer_.Save(out);
+  tracker_.Save(out);
+  std::vector<ClusterId> reported(reported_.begin(), reported_.end());
+  std::sort(reported.begin(), reported.end());
+  out.U64(reported.size());
+  for (ClusterId id : reported) out.U64(id);
+}
+
+bool EventDetector::RestoreState(BinaryReader& in) {
+  const QuantumIndex next_index = in.I64();
+  std::vector<stream::Message> pending;
+  if (!snapshot_io::ReadMessages(in, pending) ||
+      !quantizer_.Restore(next_index, std::move(pending))) {
+    in.Fail();
+    return false;
+  }
+  if (!akg_.Restore(in) || !maintainer_.Restore(in) ||
+      !tracker_.Restore(in)) {
+    return false;
+  }
+  reported_.clear();
+  const std::uint64_t reported = in.U64();
+  if (!in.CheckLength(reported, 8)) return false;
+  reported_.reserve(reported);
+  for (std::uint64_t i = 0; i < reported; ++i) {
+    if (!reported_.insert(in.U64()).second) {
+      in.Fail();
+      return false;
+    }
+  }
+  return in.ok();
+}
+
+std::vector<stream::Message> EventDetector::TakePendingMessages() {
+  return quantizer_.TakePending();
 }
 
 bool EventDetector::PassesFilters(const EventSnapshot& snapshot) const {

@@ -12,13 +12,13 @@
 #include "akg/akg_builder.h"
 #include "akg/quantum_aggregate.h"
 #include "cluster/maintenance.h"
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "detect/config.h"
 #include "detect/event.h"
 #include "rank/rank_tracker.h"
 #include "stream/message.h"
 #include "stream/quantizer.h"
-#include "stream/sliding_window.h"
 #include "text/keyword_dictionary.h"
 
 namespace scprt::detect {
@@ -68,13 +68,33 @@ class EventDetector {
     return reported_;
   }
 
-  /// The raw quanta currently inside the sliding window plus the partial
-  /// quantum under accumulation — everything a checkpoint needs to rebuild
-  /// the detector by replay (see detect/checkpoint.h).
-  const stream::SlidingWindow& window() const { return window_; }
+  /// The partial quantum under accumulation (checkpoint inspection).
   const std::vector<stream::Message>& pending_messages() const {
     return quantizer_.pending();
   }
+
+  /// Index the next emitted quantum will carry.
+  QuantumIndex next_quantum_index() const { return quantizer_.next_index(); }
+
+  /// Serializes every derived structure — AKG layer, graph + SCP clusters
+  /// (with their ids and birth stamps), rank histories, first-report set
+  /// and the quantizer clock — in canonical order. The config is NOT
+  /// included; detect/snapshot_io.h frames config + state into the
+  /// versioned checkpoint format. `quantizer_override` substitutes another
+  /// quantizer's clock and pending messages (the sharded engine owns
+  /// accumulation in its outer quantizer); nullptr uses this detector's.
+  void SaveState(BinaryWriter& out,
+                 const stream::Quantizer* quantizer_override = nullptr) const;
+
+  /// Restores SaveState()'s encoding into this freshly constructed
+  /// detector (same config required — the caller guarantees it by
+  /// constructing from the checkpoint's own config section). Returns false
+  /// on malformed input; the detector must then be discarded.
+  bool RestoreState(BinaryReader& in);
+
+  /// Engine restore support: moves the pending partial quantum out of the
+  /// core detector (the engine's outer quantizer owns accumulation).
+  std::vector<stream::Message> TakePendingMessages();
 
  private:
   /// Builds the ranked, filtered snapshot list for the current state.
@@ -97,9 +117,6 @@ class EventDetector {
   stream::Quantizer quantizer_;
   rank::RankTracker tracker_;
   std::unordered_set<ClusterId> reported_;
-  // Raw quanta retained for checkpoint/replay; bounded by
-  // w * checkpoint_retention.
-  stream::SlidingWindow window_;
 };
 
 }  // namespace scprt::detect

@@ -32,6 +32,9 @@ struct EventSnapshot {
   bool newly_reported = false;
   /// Post-hoc spuriousness flag from the rank tracker.
   bool likely_spurious = false;
+
+  friend bool operator==(const EventSnapshot&,
+                         const EventSnapshot&) = default;
 };
 
 /// Everything the detector emits for one quantum.
@@ -44,6 +47,9 @@ struct QuantumReport {
   std::size_t akg_edges = 0;
   std::size_t ckg_nodes = 0;
   std::size_t bursty_keywords = 0;
+
+  friend bool operator==(const QuantumReport&,
+                         const QuantumReport&) = default;
 };
 
 }  // namespace scprt::detect

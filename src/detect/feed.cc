@@ -77,4 +77,55 @@ std::vector<FeedItem> EventFeed::Consume(const QuantumReport& report) {
   return items;
 }
 
+void EventFeed::Save(BinaryWriter& out) const {
+  suppressor_.Save(out);
+  out.U64(delivered_count_);
+  out.U64(delivered_.size());
+  for (const DeliveredMemo& memo : delivered_) {  // delivery order
+    out.I64(memo.quantum);
+    out.U64(memo.keywords.size());
+    for (KeywordId keyword : memo.keywords) out.U32(keyword);
+  }
+}
+
+bool EventFeed::Restore(BinaryReader& in) {
+  const auto reset = [this] {
+    suppressor_ = SpuriousSuppressor(config_.spurious_patience);
+    delivered_.clear();
+    delivered_count_ = 0;
+  };
+  reset();
+  if (!suppressor_.Restore(in)) return false;
+  delivered_count_ = in.U64();
+  const std::uint64_t memos = in.U64();
+  bool valid = in.CheckLength(memos, 8 + 8) &&
+               memos <= config_.dedupe_memory;
+  for (std::uint64_t i = 0; valid && i < memos; ++i) {
+    DeliveredMemo memo;
+    memo.quantum = in.I64();
+    const std::uint64_t keywords = in.U64();
+    if (!in.CheckLength(keywords, 4)) {
+      valid = false;
+      break;
+    }
+    memo.keywords.reserve(keywords);
+    for (std::uint64_t j = 0; j < keywords; ++j) {
+      memo.keywords.push_back(in.U32());
+    }
+    // Dedupe compares sorted keyword vectors.
+    if (!in.ok() ||
+        !std::is_sorted(memo.keywords.begin(), memo.keywords.end())) {
+      valid = false;
+      break;
+    }
+    delivered_.push_back(std::move(memo));
+  }
+  if (!valid || !in.ok()) {
+    reset();
+    in.Fail();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace scprt::detect

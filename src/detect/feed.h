@@ -2,10 +2,12 @@
 // spurious suppression + story correlation + exactly-once delivery.
 //
 // The raw detector re-announces a cluster as NEW whenever its identity
-// changes (splits, restores from checkpoint); subscribers usually want each
-// real-world event once. The feed dedupes by keyword-set similarity against
-// recently delivered items, suppresses post-hoc-spurious events, and groups
-// correlated clusters into stories before delivery.
+// changes (e.g. splits); subscribers usually want each real-world event
+// once. The feed dedupes by keyword-set similarity against recently
+// delivered items, suppresses post-hoc-spurious events, and groups
+// correlated clusters into stories before delivery. Its exactly-once state
+// checkpoints alongside the detector (Save/Restore below) — cluster ids
+// are stable across a restore, so the memory stays valid.
 
 #ifndef SCPRT_DETECT_FEED_H_
 #define SCPRT_DETECT_FEED_H_
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "detect/event.h"
 #include "detect/postprocess.h"
 
@@ -60,6 +63,16 @@ class EventFeed {
   std::size_t suppressed_count() const {
     return suppressor_.suppressed_count();
   }
+
+  /// Serializes the feed's exactly-once state — dedupe memory, suppressor
+  /// counters, delivery count — so a restored feed does not re-deliver
+  /// stories it already delivered. Pairs with the detector checkpoint
+  /// (detect/checkpoint.h); the FeedConfig itself is not stored.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this feed's state with Save()'s encoding. Returns false on
+  /// malformed input; the feed is reset to empty in that case.
+  bool Restore(BinaryReader& in);
 
  private:
   struct DeliveredMemo {

@@ -104,4 +104,35 @@ std::size_t SpuriousSuppressor::suppressed_count() const {
   return n;
 }
 
+void SpuriousSuppressor::Save(BinaryWriter& out) const {
+  std::vector<std::pair<ClusterId, int>> sorted(consecutive_.begin(),
+                                                consecutive_.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.U64(sorted.size());
+  for (const auto& [id, streak] : sorted) {
+    out.U64(id);
+    out.U32(static_cast<std::uint32_t>(streak));
+  }
+}
+
+bool SpuriousSuppressor::Restore(BinaryReader& in) {
+  consecutive_.clear();
+  const std::uint64_t count = in.U64();
+  bool valid = in.CheckLength(count, 12);
+  for (std::uint64_t i = 0; valid && i < count; ++i) {
+    const ClusterId id = in.U64();
+    const std::uint32_t streak = in.U32();
+    if (!in.ok() || streak > (1u << 30) ||
+        !consecutive_.emplace(id, static_cast<int>(streak)).second) {
+      valid = false;
+    }
+  }
+  if (!valid || !in.ok()) {
+    consecutive_.clear();
+    in.Fail();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace scprt::detect

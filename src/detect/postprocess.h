@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "detect/event.h"
 
 namespace scprt::detect {
@@ -62,6 +63,13 @@ class SpuriousSuppressor {
 
   /// Number of events currently suppressed.
   std::size_t suppressed_count() const;
+
+  /// Serializes the per-cluster consecutive-flag counters (id-sorted).
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces the counters with Save()'s encoding. Returns false on
+  /// malformed input; the suppressor is cleared then.
+  bool Restore(BinaryReader& in);
 
  private:
   int patience_;

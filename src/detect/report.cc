@@ -1,7 +1,10 @@
 #include "detect/report.h"
 
+#include <bit>
 #include <cstdio>
 #include <sstream>
+
+#include "common/hash.h"
 
 namespace scprt::detect {
 
@@ -41,6 +44,29 @@ std::string FormatReport(const QuantumReport& report,
     out << "  " << FormatEvent(e, dictionary) << '\n';
   }
   return out.str();
+}
+
+std::uint64_t ReportDigest(const QuantumReport& report) {
+  std::uint64_t h = SplitMix64(static_cast<std::uint64_t>(report.quantum));
+  h = HashCombine(h, report.akg_nodes);
+  h = HashCombine(h, report.akg_edges);
+  h = HashCombine(h, report.ckg_nodes);
+  h = HashCombine(h, report.bursty_keywords);
+  h = HashCombine(h, report.events.size());
+  for (const EventSnapshot& e : report.events) {
+    h = HashCombine(h, e.cluster_id);
+    h = HashCombine(h, static_cast<std::uint64_t>(e.born_at));
+    h = HashCombine(h, e.keywords.size());
+    for (KeywordId k : e.keywords) h = HashCombine(h, k);
+    h = HashCombine(h, std::bit_cast<std::uint64_t>(e.rank));
+    h = HashCombine(h, e.node_count);
+    h = HashCombine(h, e.edge_count);
+    h = HashCombine(h, std::bit_cast<std::uint64_t>(e.avg_ec));
+    h = HashCombine(h, e.support);
+    h = HashCombine(h, (e.newly_reported ? 2u : 0u) |
+                           (e.likely_spurious ? 1u : 0u));
+  }
+  return h;
 }
 
 }  // namespace scprt::detect

@@ -1,8 +1,10 @@
-// Human-readable formatting of event reports.
+// Human-readable formatting of event reports, and the canonical report
+// digest used by the golden-trace and checkpoint equivalence tests.
 
 #ifndef SCPRT_DETECT_REPORT_H_
 #define SCPRT_DETECT_REPORT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "detect/event.h"
@@ -19,6 +21,14 @@ std::string FormatEvent(const EventSnapshot& snapshot,
 std::string FormatReport(const QuantumReport& report,
                          const text::KeywordDictionary& dictionary,
                          std::size_t max_events = 10);
+
+/// Canonical 64-bit digest of everything a report carries — cluster ids,
+/// birth stamps, keyword sets, exact rank/EC bit patterns, NEW and spurious
+/// markers, AKG statistics. Two reports digest equal iff they are
+/// bit-identical, so a digest stream is a compact behavioral fingerprint
+/// (tests/golden_test.cc) and digest equality across a checkpoint restore
+/// proves the restore changed nothing (tests/checkpoint_property_test.cc).
+std::uint64_t ReportDigest(const QuantumReport& report);
 
 }  // namespace scprt::detect
 

@@ -1,0 +1,207 @@
+#include "detect/snapshot_io.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace scprt::detect::snapshot_io {
+
+namespace {
+
+// Hard sanity ceilings for config values arriving from disk. Generous for
+// any real deployment; tight enough that a corrupt config cannot drive
+// absurd allocations before the first quantum is processed.
+constexpr std::uint64_t kMaxQuantumSize = 1u << 30;
+constexpr std::uint64_t kMaxWindowLength = 1u << 24;
+constexpr std::uint64_t kMaxMinHashSize = 1u << 20;
+
+}  // namespace
+
+bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
+                std::uint64_t* checkpoint_id) {
+  BinaryWriter header;
+  header.Bytes(kMagic, sizeof(kMagic));
+  header.U32(kFormatVersion);
+  header.U8(static_cast<std::uint8_t>(kind));
+  header.U64(payload.size());
+  const std::uint32_t crc = Crc32(payload);
+  header.U32(crc);
+  out.write(header.data().data(),
+            static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (checkpoint_id != nullptr) *checkpoint_id = crc;
+  return static_cast<bool>(out);
+}
+
+bool ReadFrame(std::istream& in, FrameKind expected_kind,
+               std::string& payload, std::uint64_t* checkpoint_id) {
+  char header_bytes[25];
+  if (!in.read(header_bytes, sizeof(header_bytes))) return false;
+  BinaryReader header(std::string_view(header_bytes, sizeof(header_bytes)));
+  char magic[8];
+  if (!header.ReadBytes(magic, sizeof(magic)) ||
+      std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (header.U32() != kFormatVersion) return false;  // no cross-version load
+  if (header.U8() != static_cast<std::uint8_t>(expected_kind)) return false;
+  const std::uint64_t length = header.U64();
+  const std::uint32_t expected_crc = header.U32();
+  // Read exactly `length` bytes; a short read is a truncated file. The
+  // length field itself is untrusted, so grow the buffer in bounded chunks
+  // rather than pre-allocating a forged size.
+  std::string body;
+  constexpr std::uint64_t kChunk = 1u << 20;
+  while (body.size() < length) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(kChunk, length - body.size());
+    const std::size_t old_size = body.size();
+    body.resize(old_size + want);
+    if (!in.read(body.data() + old_size,
+                 static_cast<std::streamsize>(want))) {
+      return false;
+    }
+  }
+  if (Crc32(body) != expected_crc) return false;
+  payload = std::move(body);
+  if (checkpoint_id != nullptr) *checkpoint_id = expected_crc;
+  return true;
+}
+
+void WriteConfig(BinaryWriter& out, const DetectorConfig& config) {
+  out.U64(config.quantum_size);
+  out.U32(config.akg.high_state_threshold);
+  out.F64(config.akg.ec_threshold);
+  out.U64(config.akg.window_length);
+  out.U64(config.akg.minhash_size);
+  out.U8(static_cast<std::uint8_t>(config.akg.ec_mode));
+  out.U64(config.akg.seed);
+  out.U64(config.min_event_nodes);
+  out.F64(config.min_rank_margin);
+  out.U8(config.require_noun ? 1 : 0);
+}
+
+bool ReadConfig(BinaryReader& in, DetectorConfig& config) {
+  DetectorConfig parsed;
+  parsed.quantum_size = in.U64();
+  parsed.akg.high_state_threshold = in.U32();
+  parsed.akg.ec_threshold = in.F64();
+  parsed.akg.window_length = in.U64();
+  parsed.akg.minhash_size = in.U64();
+  const std::uint8_t ec_mode = in.U8();
+  parsed.akg.seed = in.U64();
+  parsed.min_event_nodes = in.U64();
+  parsed.min_rank_margin = in.F64();
+  const std::uint8_t require_noun = in.U8();
+  // Constructor preconditions plus sanity ceilings — a corrupt config must
+  // fail the load, not abort the process or reserve gigabytes.
+  if (!in.ok() || parsed.quantum_size < 1 ||
+      parsed.quantum_size > kMaxQuantumSize ||
+      parsed.akg.high_state_threshold < 1 ||
+      !(parsed.akg.ec_threshold > 0.0) || !(parsed.akg.ec_threshold <= 1.0) ||
+      parsed.akg.window_length < 1 ||
+      parsed.akg.window_length > kMaxWindowLength ||
+      parsed.akg.minhash_size > kMaxMinHashSize || ec_mode > 2 ||
+      !std::isfinite(parsed.min_rank_margin) || require_noun > 1) {
+    in.Fail();
+    return false;
+  }
+  parsed.akg.ec_mode = static_cast<akg::EcMode>(ec_mode);
+  parsed.require_noun = require_noun != 0;
+  config = parsed;
+  return true;
+}
+
+void WriteMessages(BinaryWriter& out,
+                   const std::vector<stream::Message>& messages) {
+  out.U64(messages.size());
+  for (const stream::Message& m : messages) {
+    out.U32(m.user);
+    out.U64(m.seq);
+    out.U32(static_cast<std::uint32_t>(m.event_id));
+    out.U32(static_cast<std::uint32_t>(m.keywords.size()));
+    for (KeywordId k : m.keywords) out.U32(k);
+  }
+}
+
+bool ReadMessages(BinaryReader& in, std::vector<stream::Message>& messages) {
+  messages.clear();
+  const std::uint64_t count = in.U64();
+  // A message is at least user + seq + event_id + keyword count.
+  if (!in.CheckLength(count, 4 + 8 + 4 + 4)) return false;
+  messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    stream::Message m;
+    m.user = in.U32();
+    m.seq = in.U64();
+    m.event_id = static_cast<std::int32_t>(in.U32());
+    const std::uint32_t keywords = in.U32();
+    if (!in.CheckLength(keywords, 4)) return false;
+    m.keywords.reserve(keywords);
+    for (std::uint32_t j = 0; j < keywords; ++j) {
+      m.keywords.push_back(in.U32());
+    }
+    if (!in.ok()) return false;
+    messages.push_back(std::move(m));
+  }
+  return true;
+}
+
+void WriteDelta(BinaryWriter& out, std::uint64_t base_id,
+                QuantumIndex next_index,
+                const std::vector<stream::Quantum>& quanta,
+                const std::vector<stream::Message>& pending) {
+  out.U64(base_id);
+  out.I64(next_index);
+  out.U64(quanta.size());
+  for (const stream::Quantum& quantum : quanta) {
+    out.I64(quantum.index);
+    WriteMessages(out, quantum.messages);
+  }
+  WriteMessages(out, pending);
+}
+
+bool ReadDelta(BinaryReader& in, DeltaPayload& delta) {
+  delta = DeltaPayload{};
+  delta.base_id = in.U64();
+  delta.next_index = in.I64();
+  const std::uint64_t quanta = in.U64();
+  if (!in.CheckLength(quanta, 8 + 8)) return false;
+  delta.quanta.reserve(quanta);
+  for (std::uint64_t i = 0; i < quanta; ++i) {
+    stream::Quantum quantum;
+    quantum.index = in.I64();
+    if (!ReadMessages(in, quantum.messages)) return false;
+    // Quanta replay oldest-first; the clock may skip (pre-built quanta) but
+    // never runs backwards, and it ends before the saved next_index.
+    if ((!delta.quanta.empty() &&
+         quantum.index <= delta.quanta.back().index) ||
+        quantum.index >= delta.next_index) {
+      in.Fail();
+      return false;
+    }
+    delta.quanta.push_back(std::move(quantum));
+  }
+  if (!ReadMessages(in, delta.pending)) return false;
+  return in.ok();
+}
+
+bool ReadAndValidateDelta(std::istream& in, std::uint64_t expected_base_id,
+                          QuantumIndex next_index, std::size_t quantum_size,
+                          DeltaPayload& delta) {
+  std::string payload;
+  if (!ReadFrame(in, FrameKind::kDelta, payload)) return false;
+  BinaryReader reader(payload);
+  DeltaPayload parsed;
+  if (!ReadDelta(reader, parsed) || reader.remaining() != 0) return false;
+  if (parsed.base_id != expected_base_id) return false;
+  if (parsed.pending.size() >= quantum_size) return false;
+  if (!parsed.quanta.empty() && parsed.quanta.front().index < next_index) {
+    return false;  // delta overlaps state the base already contains
+  }
+  delta = std::move(parsed);
+  return true;
+}
+
+}  // namespace scprt::detect::snapshot_io

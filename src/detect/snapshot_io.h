@@ -1,0 +1,117 @@
+// The versioned binary container for native structural checkpoints.
+//
+// A checkpoint file is one frame:
+//
+//   offset  size  field
+//   0       8     magic "SCPRTSNP"
+//   8       4     format version (little-endian u32; currently 2)
+//   12      1     kind: 1 = full snapshot, 2 = delta
+//   13      8     payload length in bytes (u64)
+//   21      4     CRC-32 (IEEE) of the payload bytes
+//   25      ...   payload
+//
+// The CRC is verified before any payload byte is parsed, so truncated or
+// bit-flipped files are rejected up front; the payload parser is
+// additionally bounds-checked end to end (see common/binary_io.h), so even
+// a corrupt payload with a forged CRC cannot crash or over-allocate.
+//
+// Full payload:  [config section][detector state section] — the state
+// section is EventDetector::SaveState's canonical encoding of every derived
+// structure (AKG layer, graph + clusters with their ids, rank histories,
+// first-report set, quantizer clock + partial quantum).
+//
+// Delta payload: the id of the base full snapshot (its payload CRC), the
+// quanta processed since that base (raw messages — bounded by the full-
+// snapshot interval, not by the window), and the pending partial quantum at
+// delta time.
+//
+// Versioning policy: the format version bumps on ANY encoding change; there
+// is no cross-version migration — a loader rejects other versions and the
+// operator takes a fresh full snapshot after upgrading. Checkpoints are
+// recovery artifacts, not archives.
+
+#ifndef SCPRT_DETECT_SNAPSHOT_IO_H_
+#define SCPRT_DETECT_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "detect/config.h"
+#include "stream/message.h"
+
+namespace scprt::detect::snapshot_io {
+
+inline constexpr char kMagic[8] = {'S', 'C', 'P', 'R', 'T', 'S', 'N', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+enum class FrameKind : std::uint8_t {
+  kFull = 1,
+  kDelta = 2,
+};
+
+/// Writes one framed payload. `checkpoint_id` (optional out) receives the
+/// payload CRC — the id delta checkpoints chain to. Returns false on stream
+/// failure.
+bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
+                std::uint64_t* checkpoint_id = nullptr);
+
+/// Reads and verifies one frame of the expected kind. Returns false on bad
+/// magic, version skew, kind mismatch, truncation or CRC failure;
+/// `payload`/`checkpoint_id` are only written on success.
+bool ReadFrame(std::istream& in, FrameKind expected_kind,
+               std::string& payload, std::uint64_t* checkpoint_id = nullptr);
+
+/// Serializes the detector configuration.
+void WriteConfig(BinaryWriter& out, const DetectorConfig& config);
+
+/// Parses and validates a configuration. Returns false if malformed or if
+/// any value would violate a constructor precondition (the loader must
+/// never feed a corrupt config into SCPRT_CHECK).
+bool ReadConfig(BinaryReader& in, DetectorConfig& config);
+
+/// Serializes a message list (count-prefixed).
+void WriteMessages(BinaryWriter& out,
+                   const std::vector<stream::Message>& messages);
+
+/// Parses a message list. Returns false on malformed input.
+bool ReadMessages(BinaryReader& in, std::vector<stream::Message>& messages);
+
+/// A parsed delta payload.
+struct DeltaPayload {
+  /// Payload CRC of the base full snapshot this delta extends.
+  std::uint64_t base_id = 0;
+  /// Quanta processed since the base, oldest first.
+  std::vector<stream::Quantum> quanta;
+  /// Partial quantum pending at delta-save time.
+  std::vector<stream::Message> pending;
+  /// Quantizer clock at delta-save time.
+  QuantumIndex next_index = 0;
+};
+
+/// Serializes a delta payload straight from the caller's structures (the
+/// quantum log can be large — no intermediate copy).
+void WriteDelta(BinaryWriter& out, std::uint64_t base_id,
+                QuantumIndex next_index,
+                const std::vector<stream::Quantum>& quanta,
+                const std::vector<stream::Message>& pending);
+
+/// Parses a delta payload. Returns false on malformed input.
+bool ReadDelta(BinaryReader& in, DeltaPayload& delta);
+
+/// Reads one delta frame from `in` and validates it against the restore
+/// target: the base id must match, the pending partial quantum must fit
+/// under `quantum_size`, and the delta's quanta must not overlap state the
+/// base already contains (`next_index` is the target's clock). The single
+/// definition of delta acceptance — the serial and sharded appliers both
+/// go through it, so a delta file is valid for one iff for the other.
+/// Returns false on any failure; `delta` is only written on success.
+bool ReadAndValidateDelta(std::istream& in, std::uint64_t expected_base_id,
+                          QuantumIndex next_index, std::size_t quantum_size,
+                          DeltaPayload& delta);
+
+}  // namespace scprt::detect::snapshot_io
+
+#endif  // SCPRT_DETECT_SNAPSHOT_IO_H_

@@ -1,9 +1,13 @@
 #include "engine/parallel_detector.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "common/binary_io.h"
+#include "detect/snapshot_io.h"
 
 namespace scprt::engine {
 namespace {
@@ -52,6 +56,79 @@ std::vector<detect::QuantumReport> ParallelDetector::Run(
     if (auto report = Push(m)) reports.push_back(*std::move(report));
   }
   return reports;
+}
+
+bool ParallelDetector::SaveCheckpoint(std::ostream& out,
+                                      std::uint64_t* checkpoint_id) {
+  namespace sio = detect::snapshot_io;
+  pool_.Quiesce();  // all shard work fenced; core state is ours to read
+  BinaryWriter payload;
+  sio::WriteConfig(payload, detector_.config());
+  // The engine's outer quantizer owns accumulation (the core's stays
+  // empty), so its clock and pending messages are the snapshot's.
+  detector_.SaveState(payload, &quantizer_);
+  return sio::WriteFrame(out, sio::FrameKind::kFull, payload.data(),
+                         checkpoint_id);
+}
+
+std::unique_ptr<ParallelDetector> ParallelDetector::LoadCheckpoint(
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::size_t threads, std::uint64_t* checkpoint_id) {
+  namespace sio = detect::snapshot_io;
+  std::string payload;
+  std::uint64_t id = 0;
+  if (!sio::ReadFrame(in, sio::FrameKind::kFull, payload, &id)) {
+    return nullptr;
+  }
+  BinaryReader reader(payload);
+  ParallelDetectorConfig config;
+  if (!sio::ReadConfig(reader, config.detector)) return nullptr;
+  config.threads = threads;
+  auto engine = std::make_unique<ParallelDetector>(config, dictionary);
+  if (!engine->detector_.RestoreState(reader) || reader.remaining() != 0) {
+    return nullptr;
+  }
+  // Move the restored partial quantum into the outer quantizer — the core
+  // never accumulates in engine mode.
+  engine->quantizer_.Restore(engine->detector_.next_quantum_index(),
+                             engine->detector_.TakePendingMessages());
+  if (checkpoint_id != nullptr) *checkpoint_id = id;
+  return engine;
+}
+
+bool ParallelDetector::SaveDeltaCheckpoint(
+    std::uint64_t base_id, const std::vector<stream::Quantum>& quanta,
+    std::ostream& out) {
+  namespace sio = detect::snapshot_io;
+  pool_.Quiesce();
+  // The outer quantizer owns accumulation in engine mode: its clock and
+  // pending messages are the delta's (the core's pending is always empty).
+  BinaryWriter payload;
+  sio::WriteDelta(payload, base_id, quantizer_.next_index(), quanta,
+                  quantizer_.pending());
+  return sio::WriteFrame(out, sio::FrameKind::kDelta, payload.data());
+}
+
+bool ParallelDetector::ApplyDeltaCheckpoint(std::istream& in,
+                                            std::uint64_t expected_base_id) {
+  namespace sio = detect::snapshot_io;
+  sio::DeltaPayload delta;
+  if (!sio::ReadAndValidateDelta(in, expected_base_id,
+                                 quantizer_.next_index(),
+                                 detector_.config().quantum_size, delta)) {
+    return false;
+  }
+  // Mirror of detect::ApplyDeltaCheckpoint, replayed through the sharded
+  // pipeline (reports are bit-identical either way). The base's pending
+  // partial quantum is superseded by the delta's.
+  quantizer_.Restore(quantizer_.next_index(), {});
+  for (const stream::Quantum& quantum : delta.quanta) {
+    ProcessQuantum(quantum);
+  }
+  for (const stream::Message& m : delta.pending) {
+    Push(m);
+  }
+  return true;
 }
 
 akg::QuantumAggregate ParallelDetector::ShardAggregate(

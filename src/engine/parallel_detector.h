@@ -29,6 +29,9 @@
 #define SCPRT_ENGINE_PARALLEL_DETECTOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -70,8 +73,37 @@ class ParallelDetector {
   /// Degree of parallelism actually in use.
   std::size_t threads() const { return pool_.threads(); }
 
-  /// The wrapped single-writer core (state inspection, checkpointing).
+  /// The wrapped single-writer core (state inspection).
   const detect::EventDetector& core() const { return detector_; }
+
+  /// Writes a full native snapshot after quiescing the shard pool. The
+  /// format is detect/checkpoint.h's: a snapshot saved here loads through
+  /// detect::LoadCheckpoint (and vice versa) — thread count is an engine
+  /// property, not a snapshot property. Returns false on stream failure.
+  bool SaveCheckpoint(std::ostream& out,
+                      std::uint64_t* checkpoint_id = nullptr);
+
+  /// Restores an engine from a full snapshot, running on `threads` workers
+  /// (0 derives hardware concurrency). Returns nullptr on malformed input.
+  static std::unique_ptr<ParallelDetector> LoadCheckpoint(
+      std::istream& in, const text::KeywordDictionary* dictionary,
+      std::size_t threads, std::uint64_t* checkpoint_id = nullptr);
+
+  /// Writes a delta checkpoint against the full snapshot identified by
+  /// `base_id`: the given quanta processed since it, plus this engine's
+  /// current pending partial quantum and clock (which live in the outer
+  /// quantizer — detect::SaveDeltaCheckpoint on core() would silently save
+  /// an empty pending list, so engine deltas must go through here).
+  bool SaveDeltaCheckpoint(std::uint64_t base_id,
+                           const std::vector<stream::Quantum>& quanta,
+                           std::ostream& out);
+
+  /// Applies a delta checkpoint (same format as the serial applier — both
+  /// validate through snapshot_io::ReadAndValidateDelta) to this freshly
+  /// restored engine; the bounded replay runs sharded. Returns false
+  /// (engine unchanged) on malformed input or base mismatch.
+  bool ApplyDeltaCheckpoint(std::istream& in,
+                            std::uint64_t expected_base_id);
 
  private:
   /// Stage 1 + 2: the canonical aggregate, built on keyword shards.

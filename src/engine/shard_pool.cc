@@ -71,6 +71,15 @@ void ShardPool::ParallelFor(std::size_t n,
   RunShards(ways, chunk);
 }
 
+void ShardPool::Quiesce() {
+  if (workers_.empty()) return;
+  // One no-op task per worker: completion of all of them implies every
+  // queue ran dry up to this fence, and the acquire on pending_ in
+  // RunShards orders every prior worker write before our return.
+  static const std::function<void(std::size_t)> noop = [](std::size_t) {};
+  RunShards(workers_.size(), noop);
+}
+
 void ShardPool::WorkerLoop(std::stop_token stop, Worker& worker) {
   std::uint64_t seen = 0;
   while (true) {

@@ -51,6 +51,13 @@ class ShardPool {
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& body);
 
+  /// Quiesce barrier: returns once every worker has drained its queue and
+  /// gone idle, with all of their writes visible to the driver (the
+  /// snapshot fence of ParallelDetector::SaveCheckpoint). All submission
+  /// methods already block until completion, so this is a formal fence —
+  /// but checkpointing goes through it rather than relying on that detail.
+  void Quiesce();
+
  private:
   struct Task {
     const std::function<void(std::size_t)>* body = nullptr;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/hash.h"
 #include "common/types.h"
 
@@ -88,6 +89,14 @@ class DynamicGraph {
 
   /// Removes everything.
   void Clear();
+
+  /// Serializes the graph: node ids then normalized edges, both sorted, so
+  /// equal graphs produce identical bytes (snapshot determinism).
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this graph with Save()'s encoding. Returns false on malformed
+  /// input (duplicate edge, self-loop, overrun); the graph is cleared then.
+  bool Restore(BinaryReader& in);
 
  private:
   std::unordered_map<NodeId, std::vector<NodeId>> adjacency_;

@@ -1,5 +1,7 @@
 #include "rank/rank_tracker.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace scprt::rank {
@@ -44,6 +46,54 @@ const std::deque<RankObservation>* RankTracker::HistoryOf(
     ClusterId id) const {
   auto it = history_.find(id);
   return it == history_.end() ? nullptr : &it->second;
+}
+
+void RankTracker::Save(BinaryWriter& out) const {
+  std::vector<ClusterId> ids = TrackedIds();
+  std::sort(ids.begin(), ids.end());
+  out.U64(ids.size());
+  for (ClusterId id : ids) {
+    const std::deque<RankObservation>& h = history_.at(id);
+    out.U64(id);
+    out.U32(static_cast<std::uint32_t>(h.size()));
+    for (const RankObservation& obs : h) {
+      out.I64(obs.quantum);
+      out.F64(obs.rank);
+      out.U32(obs.node_count);
+    }
+  }
+}
+
+bool RankTracker::Restore(BinaryReader& in) {
+  history_.clear();
+  const std::uint64_t count = in.U64();
+  bool valid = in.CheckLength(count, 8 + 4 + 20);
+  for (std::uint64_t i = 0; valid && i < count; ++i) {
+    const ClusterId id = in.U64();
+    const std::uint32_t length = in.U32();
+    // The ring never grows beyond max_history_, and an empty history is
+    // erased eagerly by Forget.
+    if (length == 0 || length > max_history_ ||
+        !in.CheckLength(length, 20) || history_.count(id) != 0) {
+      valid = false;
+      break;
+    }
+    std::deque<RankObservation>& h = history_[id];
+    for (std::uint32_t j = 0; j < length; ++j) {
+      RankObservation obs;
+      obs.quantum = in.I64();
+      obs.rank = in.F64();
+      obs.node_count = in.U32();
+      h.push_back(obs);
+    }
+    if (!in.ok()) valid = false;
+  }
+  if (!valid || !in.ok()) {
+    history_.clear();
+    in.Fail();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace scprt::rank

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/types.h"
 
 namespace scprt::rank {
@@ -50,6 +51,15 @@ class RankTracker {
   std::vector<ClusterId> TrackedIds() const;
 
   std::size_t tracked() const { return history_.size(); }
+
+  /// Serializes every cluster's history (id-sorted, ranks as bit-exact
+  /// doubles), so spuriousness verdicts after a restore match the
+  /// never-restarted tracker's exactly.
+  void Save(BinaryWriter& out) const;
+
+  /// Replaces this tracker's histories with Save()'s encoding. Returns
+  /// false on malformed input; the tracker is cleared then.
+  bool Restore(BinaryReader& in);
 
  private:
   std::size_t min_observations_;

@@ -22,6 +22,22 @@ std::optional<Quantum> Quantizer::Push(Message message) {
   return q;
 }
 
+std::vector<Message> Quantizer::TakePending() {
+  std::vector<Message> taken = std::move(pending_);
+  pending_.clear();
+  pending_.reserve(quantum_size_);
+  return taken;
+}
+
+bool Quantizer::Restore(QuantumIndex next_index,
+                        std::vector<Message> pending) {
+  if (pending.size() >= quantum_size_) return false;
+  next_index_ = next_index;
+  pending_ = std::move(pending);
+  pending_.reserve(quantum_size_);
+  return true;
+}
+
 std::optional<Quantum> Quantizer::Flush() {
   if (pending_.empty()) return std::nullopt;
   Quantum q;

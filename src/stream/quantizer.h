@@ -32,9 +32,19 @@ class Quantizer {
   /// Messages accumulated toward the next quantum (checkpointing).
   const std::vector<Message>& pending() const { return pending_; }
 
+  /// Moves the pending partial quantum out, leaving it empty (engine
+  /// restore hands accumulation from the core to the outer quantizer).
+  std::vector<Message> TakePending();
+
   /// Re-bases the next quantum index (checkpoint restore: replayed quanta
   /// bypass the quantizer, which must continue after them).
   void SetNextIndex(QuantumIndex index) { next_index_ = index; }
+
+  /// Checkpoint restore: installs the clock and the partial quantum in one
+  /// step. `pending` must hold fewer than quantum_size() messages (a full
+  /// quantum would already have been emitted); returns false otherwise and
+  /// leaves the quantizer unchanged.
+  bool Restore(QuantumIndex next_index, std::vector<Message> pending);
 
   /// Configured δ.
   std::size_t quantum_size() const { return quantum_size_; }

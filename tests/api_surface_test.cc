@@ -1,15 +1,14 @@
 // Coverage of remaining public-API surface: report formatting edge cases,
-// graph snapshots/Clear, message conservation through quantizer + window,
+// graph snapshots/Clear, message conservation through the quantizer,
 // detector accessors used by checkpointing and the bench harnesses.
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "detect/detector.h"
 #include "detect/report.h"
-#include "common/random.h"
 #include "graph/graph.h"
 #include "stream/quantizer.h"
-#include "stream/sliding_window.h"
 
 namespace scprt {
 namespace {
@@ -82,20 +81,18 @@ TEST(StreamConservationTest, QuantizerPlusWindowLoseNothing) {
   EXPECT_EQ(rest->messages.front().seq, 10 * delta);
 }
 
-TEST(DetectorAccessorsTest, WindowAndPendingTrackInput) {
+TEST(DetectorAccessorsTest, ClockAndPendingTrackInput) {
   detect::DetectorConfig config;
   config.quantum_size = 5;
   config.akg.window_length = 2;
-  config.checkpoint_retention = 2;
   detect::EventDetector detector(config, nullptr);
   stream::Message m;
   m.user = 1;
   m.keywords = {1, 2};
   for (int i = 0; i < 23; ++i) detector.Push(m);
-  // 4 full quanta emitted; retention 2 * w = 4 quanta kept.
-  EXPECT_EQ(detector.window().size(), 4u);
+  // 4 full quanta emitted, 3 messages accumulating toward quantum 4.
+  EXPECT_EQ(detector.next_quantum_index(), 4);
   EXPECT_EQ(detector.pending_messages().size(), 3u);
-  EXPECT_EQ(detector.window().quanta().back().index, 3);
 }
 
 TEST(DetectorAccessorsTest, NoDictionaryDisablesNounFilter) {

@@ -1,0 +1,319 @@
+// Corruption / fuzz hardening for the native snapshot loader: truncations,
+// single-bit flips, version and kind skew, forged frames with valid CRCs
+// (hostile length fields, invalid configs, cross-section inconsistencies)
+// and plain random garbage must all make LoadCheckpoint / ApplyDelta return
+// failure — never crash, abort, leak (this suite runs in the ASan+UBSan CI
+// job) or balloon allocation from a forged count.
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/random.h"
+#include "detect/checkpoint.h"
+#include "detect/detector.h"
+#include "detect/snapshot_io.h"
+#include "engine/parallel_detector.h"
+#include "stream/quantizer.h"
+#include "stream/synthetic.h"
+
+namespace scprt {
+namespace {
+
+namespace sio = detect::snapshot_io;
+
+struct Fixture {
+  stream::SyntheticTrace trace;
+  detect::DetectorConfig config;
+  std::string full_bytes;   // a valid full snapshot
+  std::string delta_bytes;  // a valid delta against it
+  std::uint64_t base_id = 0;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    stream::SyntheticConfig tc;
+    tc.seed = 7;
+    tc.num_messages = 6'000;
+    tc.num_users = 1'200;
+    tc.background_vocab = 1'500;
+    tc.num_events = 3;
+    f->trace = GenerateSyntheticTrace(tc);
+    f->config.quantum_size = 100;
+    f->config.akg.window_length = 8;
+
+    detect::EventDetector detector(f->config, &f->trace.dictionary);
+    detect::CheckpointManager manager;
+    const std::vector<stream::Quantum> quanta =
+        stream::SplitIntoQuanta(f->trace.messages, f->config.quantum_size);
+    std::stringstream full, delta;
+    for (std::size_t q = 0; q < 30; ++q) {
+      detector.ProcessQuantum(quanta[q]);
+      manager.Record(quanta[q]);
+      if (q == 24) {
+        EXPECT_TRUE(manager.SaveFull(detector, full));
+      }
+    }
+    EXPECT_TRUE(manager.SaveDelta(detector, delta));
+    f->full_bytes = full.str();
+    f->delta_bytes = delta.str();
+    f->base_id = manager.base_id();
+    return f;
+  }();
+  return *fixture;
+}
+
+std::unique_ptr<detect::EventDetector> LoadBytes(const std::string& bytes) {
+  std::stringstream in(bytes);
+  return detect::LoadCheckpoint(in, &SharedFixture().trace.dictionary);
+}
+
+TEST(CheckpointFuzzTest, ValidFixtureLoads) {
+  ASSERT_NE(LoadBytes(SharedFixture().full_bytes), nullptr);
+}
+
+TEST(CheckpointFuzzTest, EveryTruncationIsRejected) {
+  const std::string& bytes = SharedFixture().full_bytes;
+  // Every header truncation, then a stride through the payload, then the
+  // last bytes (the CRC protects all of it — any shortening must fail).
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < 64 && n < bytes.size(); ++n) cuts.push_back(n);
+  for (std::size_t n = 64; n < bytes.size(); n += 211) cuts.push_back(n);
+  for (std::size_t back = 1; back <= 8 && back < bytes.size(); ++back) {
+    cuts.push_back(bytes.size() - back);
+  }
+  for (std::size_t cut : cuts) {
+    EXPECT_EQ(LoadBytes(bytes.substr(0, cut)), nullptr)
+        << "truncation at " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(CheckpointFuzzTest, EverySingleBitFlipIsRejected) {
+  const std::string& bytes = SharedFixture().full_bytes;
+  // Dense sweep over the frame header and the payload head, strided sweep
+  // over the rest; CRC-32 detects any single-bit error.
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i < 256 && i < bytes.size(); ++i) {
+    offsets.push_back(i);
+  }
+  for (std::size_t i = 256; i < bytes.size(); i += 97) offsets.push_back(i);
+  for (std::size_t offset : offsets) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^ (1u << (offset % 8)));
+    EXPECT_EQ(LoadBytes(corrupt), nullptr)
+        << "bit flip at byte " << offset << " survived";
+  }
+}
+
+TEST(CheckpointFuzzTest, VersionAndKindSkewAreRejected) {
+  const std::string& bytes = SharedFixture().full_bytes;
+  // The version field is the little-endian u32 at offset 8 (after the
+  // 8-byte magic).
+  {
+    std::string skewed = bytes;
+    skewed[8] = static_cast<char>(1);  // the replay era, long gone
+    EXPECT_EQ(LoadBytes(skewed), nullptr) << "version 1 accepted";
+  }
+  {
+    std::string skewed = bytes;
+    skewed[8] = static_cast<char>(sio::kFormatVersion + 1);
+    EXPECT_EQ(LoadBytes(skewed), nullptr) << "future version accepted";
+  }
+  {
+    // A delta frame is not a full snapshot and vice versa.
+    std::stringstream in(SharedFixture().delta_bytes);
+    EXPECT_EQ(detect::LoadCheckpoint(in, nullptr), nullptr);
+    auto detector = LoadBytes(bytes);
+    ASSERT_NE(detector, nullptr);
+    std::stringstream full_as_delta(bytes);
+    EXPECT_FALSE(detect::ApplyDeltaCheckpoint(*detector, full_as_delta,
+                                              SharedFixture().base_id));
+  }
+}
+
+TEST(CheckpointFuzzTest, ForgedLengthFieldsDoNotAllocate) {
+  // Hostile payloads with a correct CRC: the parser's bounds checks are the
+  // only defense. A forged element count must fail before any reservation.
+  const auto forge = [](const std::function<void(BinaryWriter&)>& body) {
+    BinaryWriter payload;
+    body(payload);
+    std::stringstream out;
+    EXPECT_TRUE(
+        sio::WriteFrame(out, sio::FrameKind::kFull, payload.data()));
+    return out.str();
+  };
+
+  detect::DetectorConfig config;
+  config.quantum_size = 100;
+  config.akg.window_length = 8;
+
+  // Giant pending-message count right after a valid config.
+  EXPECT_EQ(LoadBytes(forge([&](BinaryWriter& w) {
+              sio::WriteConfig(w, config);
+              w.I64(5);                      // next_index
+              w.U64(0xFFFF'FFFF'FFFFull);    // pending count
+            })),
+            nullptr);
+  // Giant keyword count inside one message.
+  EXPECT_EQ(LoadBytes(forge([&](BinaryWriter& w) {
+              sio::WriteConfig(w, config);
+              w.I64(5);
+              w.U64(1);            // one pending message
+              w.U32(1);            // user
+              w.U64(0);            // seq
+              w.U32(0);            // event id
+              w.U32(0xFFFF'FFFF);  // keyword count
+            })),
+            nullptr);
+  // Config that would trip constructor preconditions.
+  for (const auto& breaker : std::vector<std::function<void(
+           detect::DetectorConfig&)>>{
+           [](auto& c) { c.quantum_size = 0; },
+           [](auto& c) { c.akg.window_length = 0; },
+           [](auto& c) { c.akg.high_state_threshold = 0; },
+           [](auto& c) { c.akg.ec_threshold = 0.0; },
+           [](auto& c) { c.akg.ec_threshold = 1.5; },
+           [](auto& c) {
+             c.akg.ec_threshold = std::numeric_limits<double>::quiet_NaN();
+           },
+       }) {
+    detect::DetectorConfig bad = config;
+    breaker(bad);
+    EXPECT_EQ(LoadBytes(forge([&](BinaryWriter& w) {
+                sio::WriteConfig(w, bad);
+              })),
+              nullptr);
+  }
+}
+
+TEST(CheckpointFuzzTest, ForgedSnapshotWithoutSignaturesIsRejected) {
+  // A CRC-valid payload whose AKG graph has an edge but whose signature
+  // section is empty: if the loader accepted it, the next quantum's lazy
+  // re-validation would call signatures_.at() on the endpoints and abort.
+  // Mirrors EventDetector::SaveState's section order field by field.
+  detect::DetectorConfig config;
+  config.quantum_size = 100;
+  config.akg.window_length = 8;
+
+  BinaryWriter w;
+  sio::WriteConfig(w, config);
+  w.I64(1);  // next_index
+  w.U64(0);  // no pending messages
+  // AkgBuilder: clock, empty id-set shards, node automaton with the two
+  // endpoints tracked and in the AKG, the edge, NO signatures, a matching
+  // correlation, zeroed stats.
+  w.I64(0);
+  w.U32(16);  // id-set shard count
+  w.U64(config.akg.window_length);
+  for (int shard = 0; shard < 16; ++shard) w.U32(0);  // empty histories
+  w.U64(2);  // last_seen: keywords 1 and 2 at quantum 0
+  w.U32(1);
+  w.I64(0);
+  w.U32(2);
+  w.I64(0);
+  w.U64(0);  // last_bursty empty
+  w.U64(2);  // AKG members 1, 2
+  w.U32(1);
+  w.U32(2);
+  w.U64(2);  // graph nodes 1, 2
+  w.U32(1);
+  w.U32(2);
+  w.U64(1);  // one edge {1, 2}
+  w.U32(1);
+  w.U32(2);
+  w.U64(0);  // signatures: none — the forgery
+  w.U64(1);  // correlations: matches edge count, so that check passes
+  w.U32(1);
+  w.U32(2);
+  w.F64(0.5);
+  for (int i = 0; i < 7; ++i) w.U64(0);  // AkgQuantumStats
+  // Maintainer: empty graph + cluster set, clock, stats.
+  w.U64(0);
+  w.U64(0);
+  w.U64(0);  // cluster next_id
+  w.U64(0);  // cluster count
+  w.I64(0);
+  for (int i = 0; i < 8; ++i) w.U64(0);  // MaintenanceStats
+  w.U64(0);  // rank tracker: no histories
+  w.U64(0);  // reported set: empty
+
+  std::stringstream out;
+  ASSERT_TRUE(sio::WriteFrame(out, sio::FrameKind::kFull, w.data()));
+  EXPECT_EQ(detect::LoadCheckpoint(out, nullptr), nullptr)
+      << "signature-less AKG edge accepted — would crash on next quantum";
+}
+
+TEST(CheckpointFuzzTest, RandomGarbageIsRejected) {
+  Rng rng(0xFA11);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage(rng.UniformInt(4'096), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(256));
+    }
+    EXPECT_EQ(LoadBytes(garbage), nullptr);
+  }
+  // Same, but behind a valid frame header (forged CRC over garbage).
+  for (int round = 0; round < 100; ++round) {
+    std::string payload(1 + rng.UniformInt(2'048), '\0');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.UniformInt(256));
+    }
+    std::stringstream out;
+    ASSERT_TRUE(sio::WriteFrame(out, sio::FrameKind::kFull, payload));
+    EXPECT_EQ(LoadBytes(out.str()), nullptr);
+  }
+}
+
+TEST(CheckpointFuzzTest, CorruptDeltaLeavesDetectorUsable) {
+  const Fixture& f = SharedFixture();
+  auto detector = LoadBytes(f.full_bytes);
+  ASSERT_NE(detector, nullptr);
+  const QuantumIndex clock_before = detector->next_quantum_index();
+
+  Rng rng(0xDE17A);
+  for (int round = 0; round < 64; ++round) {
+    std::string corrupt = f.delta_bytes;
+    const std::size_t offset = rng.UniformInt(corrupt.size());
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^
+        (1u << rng.UniformInt(8)));
+    std::stringstream in(corrupt);
+    EXPECT_FALSE(detect::ApplyDeltaCheckpoint(*detector, in, f.base_id));
+    EXPECT_EQ(detector->next_quantum_index(), clock_before)
+        << "corrupt delta mutated the detector";
+  }
+  // The pristine delta still applies after all the failed attempts.
+  std::stringstream in(f.delta_bytes);
+  EXPECT_TRUE(detect::ApplyDeltaCheckpoint(*detector, in, f.base_id));
+}
+
+TEST(CheckpointFuzzTest, EngineLoaderRejectsCorruptInput) {
+  const std::string& bytes = SharedFixture().full_bytes;
+  Rng rng(0xE0F);
+  for (int round = 0; round < 64; ++round) {
+    std::string corrupt = bytes;
+    const std::size_t offset = rng.UniformInt(corrupt.size());
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^
+        (1u << rng.UniformInt(8)));
+    std::stringstream in(corrupt);
+    EXPECT_EQ(engine::ParallelDetector::LoadCheckpoint(
+                  in, &SharedFixture().trace.dictionary, 2),
+              nullptr);
+  }
+  std::stringstream in(bytes);
+  EXPECT_NE(engine::ParallelDetector::LoadCheckpoint(
+                in, &SharedFixture().trace.dictionary, 2),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace scprt

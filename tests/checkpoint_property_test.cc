@@ -1,0 +1,289 @@
+// Randomized checkpoint round-trip property: for random streams, random
+// configurations and a random save point, the report stream after a restore
+// is byte-identical to the uninterrupted run's — serial and sharded (1 and
+// 8 threads), full and delta checkpoints, in every cross direction
+// (serial-save/engine-load and engine-save/serial-load). Labeled "slow".
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "detect/checkpoint.h"
+#include "detect/detector.h"
+#include "detect/report.h"
+#include "engine/parallel_detector.h"
+#include "stream/quantizer.h"
+#include "stream/synthetic.h"
+
+namespace scprt {
+namespace {
+
+struct Scenario {
+  stream::SyntheticTrace trace;
+  detect::DetectorConfig config;
+  std::vector<stream::Quantum> quanta;
+  std::size_t save_at = 0;  // quanta processed before the checkpoint
+};
+
+Scenario RandomScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+
+  stream::SyntheticConfig trace_config;
+  trace_config.seed = rng.Next();
+  trace_config.num_messages = 10'000 + rng.UniformInt(8'000);
+  trace_config.num_users = 1'000 + rng.UniformInt(3'000);
+  trace_config.background_vocab = 1'500 + rng.UniformInt(3'000);
+  trace_config.num_events = 3 + rng.UniformInt(5);
+  trace_config.num_spurious = rng.UniformInt(3);
+  trace_config.event_duration_min = 2'000;
+  trace_config.event_duration_max = 6'000;
+  trace_config.peak_share_min = 0.03;
+  trace_config.peak_share_max = 0.09;
+  trace_config.event_user_pool = 150 + rng.UniformInt(150);
+  s.trace = stream::GenerateSyntheticTrace(trace_config);
+
+  const std::size_t quantum_sizes[] = {80, 100, 160};
+  s.config.quantum_size = quantum_sizes[rng.UniformInt(3)];
+  s.config.akg.window_length = 8 + rng.UniformInt(12);
+  s.config.akg.high_state_threshold = 3 + rng.UniformInt(3);
+  s.config.akg.ec_threshold = 0.12 + 0.10 * rng.UniformDouble();
+  s.config.akg.ec_mode = static_cast<akg::EcMode>(rng.UniformInt(3));
+  s.config.require_noun = rng.Bernoulli(0.5);
+
+  s.quanta = stream::SplitIntoQuanta(s.trace.messages,
+                                     s.config.quantum_size);
+  // Save somewhere in the middle third — late enough for live clusters and
+  // evictions, early enough to leave a meaningful tail.
+  s.save_at = s.quanta.size() / 3 +
+              rng.UniformInt(std::max<std::size_t>(1, s.quanta.size() / 3));
+  return s;
+}
+
+// Reference tail: digests of every report after `save_at`, uninterrupted.
+std::vector<std::uint64_t> ReferenceTail(const Scenario& s) {
+  detect::EventDetector reference(s.config, &s.trace.dictionary);
+  std::vector<std::uint64_t> tail;
+  for (std::size_t q = 0; q < s.quanta.size(); ++q) {
+    const detect::QuantumReport report =
+        reference.ProcessQuantum(s.quanta[q]);
+    if (q >= s.save_at) tail.push_back(detect::ReportDigest(report));
+  }
+  return tail;
+}
+
+void ExpectTailMatches(const Scenario& s,
+                       const std::vector<std::uint64_t>& expected,
+                       const std::function<detect::QuantumReport(
+                           const stream::Quantum&)>& process,
+                       const char* what) {
+  ASSERT_FALSE(expected.empty());
+  for (std::size_t q = s.save_at; q < s.quanta.size(); ++q) {
+    const detect::QuantumReport report = process(s.quanta[q]);
+    ASSERT_EQ(detect::ReportDigest(report), expected[q - s.save_at])
+        << what << " diverged at quantum " << q << " (saved at "
+        << s.save_at << ")";
+  }
+}
+
+TEST(CheckpointPropertyTest, SerialFullRoundTripTailIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Scenario s = RandomScenario(seed);
+    const std::vector<std::uint64_t> expected = ReferenceTail(s);
+
+    detect::EventDetector head(s.config, &s.trace.dictionary);
+    for (std::size_t q = 0; q < s.save_at; ++q) {
+      head.ProcessQuantum(s.quanta[q]);
+    }
+    std::stringstream buffer;
+    ASSERT_TRUE(detect::SaveCheckpoint(head, buffer));
+    auto restored = detect::LoadCheckpoint(buffer, &s.trace.dictionary);
+    ASSERT_NE(restored, nullptr) << "seed " << seed;
+    ExpectTailMatches(
+        s, expected,
+        [&](const stream::Quantum& q) { return restored->ProcessQuantum(q); },
+        "serial full restore");
+  }
+}
+
+TEST(CheckpointPropertyTest, SerialDeltaRoundTripTailIsByteIdentical) {
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const Scenario s = RandomScenario(seed);
+    const std::vector<std::uint64_t> expected = ReferenceTail(s);
+
+    // Full snapshot a few quanta before the save point, delta at it.
+    Rng rng(seed * 977);
+    const std::size_t full_at =
+        s.save_at - std::min<std::size_t>(s.save_at,
+                                          1 + rng.UniformInt(10));
+    detect::EventDetector head(s.config, &s.trace.dictionary);
+    detect::CheckpointManager manager;
+    std::stringstream full, delta;
+    for (std::size_t q = 0; q < s.save_at; ++q) {
+      head.ProcessQuantum(s.quanta[q]);
+      manager.Record(s.quanta[q]);
+      if (q + 1 == full_at) {
+        ASSERT_TRUE(manager.SaveFull(head, full));
+      }
+    }
+    if (full_at == 0) {
+      ASSERT_TRUE(manager.SaveFull(head, full));
+    }
+    ASSERT_TRUE(manager.SaveDelta(head, delta));
+
+    auto restored = detect::LoadCheckpoint(full, &s.trace.dictionary);
+    ASSERT_NE(restored, nullptr) << "seed " << seed;
+    ASSERT_TRUE(
+        ApplyDeltaCheckpoint(*restored, delta, manager.base_id()));
+    ExpectTailMatches(
+        s, expected,
+        [&](const stream::Quantum& q) { return restored->ProcessQuantum(q); },
+        "serial delta restore");
+  }
+}
+
+TEST(CheckpointPropertyTest, ShardedRoundTripAllCrossDirections) {
+  // Engine(8) save -> engine(8) load, engine(8) save -> serial load,
+  // serial save -> engine(8) load, and engine(1) as the degenerate pool.
+  const Scenario s = RandomScenario(21);
+  const std::vector<std::uint64_t> expected = ReferenceTail(s);
+
+  engine::ParallelDetectorConfig pconfig;
+  pconfig.detector = s.config;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    pconfig.threads = threads;
+    engine::ParallelDetector head(pconfig, &s.trace.dictionary);
+    for (std::size_t q = 0; q < s.save_at; ++q) {
+      head.ProcessQuantum(s.quanta[q]);
+    }
+    std::stringstream buffer;
+    std::uint64_t engine_id = 0;
+    ASSERT_TRUE(head.SaveCheckpoint(buffer, &engine_id));
+    const std::string snapshot = buffer.str();
+
+    {
+      std::stringstream in(snapshot);
+      auto restored = engine::ParallelDetector::LoadCheckpoint(
+          in, &s.trace.dictionary, threads);
+      ASSERT_NE(restored, nullptr);
+      ASSERT_EQ(restored->threads(), threads);
+      ExpectTailMatches(
+          s, expected,
+          [&](const stream::Quantum& q) {
+            return restored->ProcessQuantum(q);
+          },
+          "engine->engine restore");
+    }
+    {
+      std::stringstream in(snapshot);
+      auto restored = detect::LoadCheckpoint(in, &s.trace.dictionary);
+      ASSERT_NE(restored, nullptr);
+      ExpectTailMatches(
+          s, expected,
+          [&](const stream::Quantum& q) {
+            return restored->ProcessQuantum(q);
+          },
+          "engine->serial restore");
+    }
+  }
+
+  // Serial save loads into an 8-thread engine.
+  detect::EventDetector serial_head(s.config, &s.trace.dictionary);
+  for (std::size_t q = 0; q < s.save_at; ++q) {
+    serial_head.ProcessQuantum(s.quanta[q]);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCheckpoint(serial_head, buffer));
+  auto restored = engine::ParallelDetector::LoadCheckpoint(
+      buffer, &s.trace.dictionary, 8);
+  ASSERT_NE(restored, nullptr);
+  ExpectTailMatches(
+      s, expected,
+      [&](const stream::Quantum& q) { return restored->ProcessQuantum(q); },
+      "serial->engine restore");
+}
+
+TEST(CheckpointPropertyTest, ShardedDeltaRoundTrip) {
+  const Scenario s = RandomScenario(33);
+  const std::vector<std::uint64_t> expected = ReferenceTail(s);
+
+  engine::ParallelDetectorConfig pconfig;
+  pconfig.detector = s.config;
+  pconfig.threads = 8;
+  engine::ParallelDetector head(pconfig, &s.trace.dictionary);
+  const std::size_t full_at = s.save_at > 6 ? s.save_at - 6 : 0;
+  std::stringstream full, delta;
+  std::uint64_t base_id = 0;
+  std::vector<stream::Quantum> log;
+  for (std::size_t q = 0; q < s.save_at; ++q) {
+    head.ProcessQuantum(s.quanta[q]);
+    log.push_back(s.quanta[q]);
+    if (q + 1 == full_at) {
+      ASSERT_TRUE(head.SaveCheckpoint(full, &base_id));
+      log.clear();
+    }
+  }
+  if (full_at == 0) {
+    ASSERT_TRUE(head.SaveCheckpoint(full, &base_id));
+  }
+  ASSERT_TRUE(head.SaveDeltaCheckpoint(base_id, log, delta));
+
+  auto restored = engine::ParallelDetector::LoadCheckpoint(
+      full, &s.trace.dictionary, 8);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_TRUE(restored->ApplyDeltaCheckpoint(delta, base_id));
+  ExpectTailMatches(
+      s, expected,
+      [&](const stream::Quantum& q) { return restored->ProcessQuantum(q); },
+      "sharded delta restore");
+}
+
+TEST(CheckpointPropertyTest, MidQuantumSaveKeepsPendingExactly) {
+  // Message-level (not quantum-aligned) save points: pending messages and
+  // the clock survive, and the tail still matches byte for byte.
+  for (std::uint64_t seed = 41; seed <= 42; ++seed) {
+    const Scenario s = RandomScenario(seed);
+    Rng rng(seed * 31);
+    const std::size_t split =
+        s.save_at * s.config.quantum_size +
+        1 + rng.UniformInt(s.config.quantum_size - 1);
+
+    detect::EventDetector reference(s.config, &s.trace.dictionary);
+    detect::EventDetector head(s.config, &s.trace.dictionary);
+    std::vector<std::uint64_t> expected;
+    for (std::size_t i = 0; i < s.trace.messages.size(); ++i) {
+      auto report = reference.Push(s.trace.messages[i]);
+      if (report && i >= split) {
+        expected.push_back(detect::ReportDigest(*report));
+      }
+      if (i < split) head.Push(s.trace.messages[i]);
+    }
+    ASSERT_FALSE(expected.empty());
+
+    std::stringstream buffer;
+    ASSERT_TRUE(detect::SaveCheckpoint(head, buffer));
+    auto restored = detect::LoadCheckpoint(buffer, &s.trace.dictionary);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->pending_messages().size(),
+              head.pending_messages().size());
+
+    std::size_t at = 0;
+    for (std::size_t i = split; i < s.trace.messages.size(); ++i) {
+      if (auto report = restored->Push(s.trace.messages[i])) {
+        ASSERT_LT(at, expected.size());
+        ASSERT_EQ(detect::ReportDigest(*report), expected[at++])
+            << "diverged after mid-quantum restore, seed " << seed;
+      }
+    }
+    EXPECT_EQ(at, expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace scprt

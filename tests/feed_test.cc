@@ -145,5 +145,40 @@ TEST(EventFeedTest, DedupeInvariantOnRealRun) {
   }
 }
 
+// The feed's exactly-once state survives a Save/Restore round trip: a
+// restored feed suppresses exactly what the original would have.
+TEST(EventFeedTest, SaveRestoreKeepsExactlyOnceState) {
+  EventFeed feed;
+  feed.Consume(Report(1, {Snap(1, {10, 11, 12, 13}, 20.0, 1, true)}));
+  feed.Consume(Report(2, {Snap(2, {40, 41, 42}, 15.0, 2, true)}));
+  ASSERT_EQ(feed.delivered_count(), 2u);
+
+  BinaryWriter snapshot;
+  feed.Save(snapshot);
+  EventFeed restored;
+  BinaryReader reader(snapshot.data());
+  ASSERT_TRUE(restored.Restore(reader));
+  EXPECT_EQ(restored.delivered_count(), 2u);
+
+  // Near-duplicates of both delivered stories stay deduped; a genuinely
+  // new story is delivered. Both feeds agree item for item.
+  const QuantumReport next =
+      Report(3, {Snap(9, {10, 11, 12}, 18.0, 3, true),
+                 Snap(10, {70, 71, 72}, 12.0, 3, true)});
+  const auto original_items = feed.Consume(next);
+  const auto restored_items = restored.Consume(next);
+  ASSERT_EQ(original_items.size(), restored_items.size());
+  ASSERT_EQ(restored_items.size(), 1u);
+  EXPECT_EQ(restored_items[0].lead.cluster_id, 10u);
+
+  // Corrupt snapshots are rejected and leave the feed empty.
+  std::string corrupt = snapshot.data();
+  corrupt.resize(corrupt.size() / 2);
+  EventFeed rejected;
+  BinaryReader corrupt_reader(corrupt);
+  EXPECT_FALSE(rejected.Restore(corrupt_reader));
+  EXPECT_EQ(rejected.delivered_count(), 0u);
+}
+
 }  // namespace
 }  // namespace scprt::detect

@@ -1,0 +1,245 @@
+// Golden-trace regression corpus: canonical traces committed under
+// tests/golden/ with the expected per-quantum report digests. Any change to
+// detector behavior — intended or not — shows up as a digest mismatch here,
+// so silent drift cannot slip into a future PR. The sharded engine replays
+// the same corpus and must match the same digests (bit-identical parallel
+// execution is part of the contract).
+//
+// Regenerating after an INTENTIONAL behavior change:
+//
+//   SCPRT_UPDATE_GOLDEN=1 ./golden_test
+//
+// rewrites the .digests files (and materializes any missing .trace file
+// from its fixed generator config). Commit the diff together with the
+// change that caused it, and say why in the PR.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "detect/report.h"
+#include "engine/parallel_detector.h"
+#include "stream/synthetic.h"
+#include "stream/trace.h"
+
+#ifndef SCPRT_GOLDEN_DIR
+#error "SCPRT_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace scprt {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  // Trace generator (fixed forever — regeneration must be reproducible).
+  stream::SyntheticConfig (*trace_config)();
+  // Detector configuration the digests were recorded under.
+  detect::DetectorConfig (*detector_config)();
+};
+
+// --- The corpus. Generator and detector configs are frozen: changing one
+// --- invalidates the committed digests by construction.
+
+stream::SyntheticConfig TwTrace() {
+  stream::SyntheticConfig config;
+  config.seed = 1001;
+  config.num_messages = 8'000;
+  config.num_users = 1'500;
+  config.background_vocab = 2'000;
+  config.num_events = 5;
+  config.num_spurious = 1;
+  config.peak_share_min = 0.04;
+  config.peak_share_max = 0.09;
+  config.event_duration_min = 2'000;
+  config.event_duration_max = 5'000;
+  config.event_user_pool = 200;
+  return config;
+}
+
+stream::SyntheticConfig EsTrace() {
+  stream::SyntheticConfig config;
+  config.seed = 1002;
+  config.num_messages = 8'000;
+  config.num_users = 1'200;
+  config.background_vocab = 1'500;
+  config.num_events = 10;
+  config.num_spurious = 3;
+  config.peak_share_min = 0.03;
+  config.peak_share_max = 0.08;
+  config.event_duration_min = 1'500;
+  config.event_duration_max = 4'000;
+  config.event_user_pool = 150;
+  return config;
+}
+
+stream::SyntheticConfig ChatterTrace() {
+  stream::SyntheticConfig config;
+  config.seed = 1003;
+  config.num_messages = 8'000;
+  config.num_users = 1'500;
+  config.background_vocab = 1'500;
+  config.num_events = 3;
+  config.num_spurious = 1;
+  config.peak_share_min = 0.05;
+  config.peak_share_max = 0.09;
+  config.event_duration_min = 2'000;
+  config.event_duration_max = 5'000;
+  config.event_user_pool = 200;
+  config.chatter_pairs = 3;
+  config.chatter_rings = 2;
+  config.chatter_period_msgs = 3'000;
+  config.chatter_active_msgs = 600;
+  return config;
+}
+
+stream::SyntheticConfig SparseTrace() {
+  stream::SyntheticConfig config;
+  config.seed = 1004;
+  config.num_messages = 6'000;
+  config.num_users = 2'500;
+  config.background_vocab = 3'000;
+  config.num_events = 2;
+  config.num_spurious = 0;
+  config.peak_share_min = 0.02;
+  config.peak_share_max = 0.05;
+  config.event_duration_min = 2'500;
+  config.event_duration_max = 4'000;
+  config.event_user_pool = 120;
+  return config;
+}
+
+detect::DetectorConfig NominalGolden() {
+  detect::DetectorConfig config;
+  config.quantum_size = 100;
+  config.akg.window_length = 12;
+  return config;
+}
+
+detect::DetectorConfig TightGolden() {
+  detect::DetectorConfig config;
+  config.quantum_size = 80;
+  config.akg.window_length = 10;
+  config.akg.high_state_threshold = 3;
+  config.akg.ec_threshold = 0.15;
+  return config;
+}
+
+const GoldenCase kCorpus[] = {
+    {"golden_tw", TwTrace, NominalGolden},
+    {"golden_es", EsTrace, NominalGolden},
+    {"golden_chatter", ChatterTrace, TightGolden},
+    {"golden_sparse", SparseTrace, TightGolden},
+};
+
+bool UpdateMode() {
+  const char* env = std::getenv("SCPRT_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string TracePath(const GoldenCase& c) {
+  return std::string(SCPRT_GOLDEN_DIR) + "/" + c.name + ".trace";
+}
+
+std::string DigestPath(const GoldenCase& c) {
+  return std::string(SCPRT_GOLDEN_DIR) + "/" + c.name + ".digests";
+}
+
+std::vector<std::uint64_t> RunDigests(
+    const std::vector<detect::QuantumReport>& reports) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(reports.size());
+  for (const detect::QuantumReport& r : reports) {
+    digests.push_back(detect::ReportDigest(r));
+  }
+  return digests;
+}
+
+bool ReadDigestFile(const std::string& path,
+                    std::vector<std::uint64_t>& digests) {
+  std::ifstream in(path);
+  if (!in) return false;
+  digests.clear();
+  std::uint64_t quantum = 0;
+  std::string hex;
+  while (in >> quantum >> hex) {
+    if (quantum != digests.size()) return false;
+    digests.push_back(std::strtoull(hex.c_str(), nullptr, 16));
+  }
+  return true;
+}
+
+bool WriteDigestFile(const std::string& path,
+                     const std::vector<std::uint64_t>& digests) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t q = 0; q < digests.size(); ++q) {
+    char line[40];
+    std::snprintf(line, sizeof(line), "%zu %016llx\n", q,
+                  static_cast<unsigned long long>(digests[q]));
+    out << line;
+  }
+  return static_cast<bool>(out);
+}
+
+class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, SerialAndShardedMatchCommittedDigests) {
+  const GoldenCase& c = GetParam();
+
+  stream::SyntheticTrace trace;
+  if (!stream::ReadTraceFile(TracePath(c), trace)) {
+    ASSERT_TRUE(UpdateMode())
+        << "missing golden trace " << TracePath(c)
+        << " — run with SCPRT_UPDATE_GOLDEN=1 to materialize it";
+    trace = stream::GenerateSyntheticTrace(c.trace_config());
+    ASSERT_TRUE(stream::WriteTraceFile(trace, TracePath(c)));
+  }
+
+  // Serial reference run.
+  detect::EventDetector detector(c.detector_config(), &trace.dictionary);
+  const std::vector<detect::QuantumReport> reports =
+      detector.Run(trace.messages);
+  ASSERT_GT(reports.size(), 20u) << "golden trace degenerated";
+  const std::vector<std::uint64_t> digests = RunDigests(reports);
+
+  if (UpdateMode()) {
+    ASSERT_TRUE(WriteDigestFile(DigestPath(c), digests));
+  } else {
+    std::vector<std::uint64_t> expected;
+    ASSERT_TRUE(ReadDigestFile(DigestPath(c), expected))
+        << "missing/corrupt " << DigestPath(c);
+    ASSERT_EQ(digests.size(), expected.size());
+    for (std::size_t q = 0; q < digests.size(); ++q) {
+      EXPECT_EQ(digests[q], expected[q])
+          << c.name << " drifted at quantum " << q
+          << " — if intentional, regenerate with SCPRT_UPDATE_GOLDEN=1 and "
+             "explain in the PR";
+    }
+  }
+
+  // The sharded engine must reproduce the same digest stream.
+  engine::ParallelDetectorConfig pconfig;
+  pconfig.detector = c.detector_config();
+  pconfig.threads = 4;
+  engine::ParallelDetector parallel(pconfig, &trace.dictionary);
+  const std::vector<detect::QuantumReport> preports =
+      parallel.Run(trace.messages);
+  ASSERT_EQ(preports.size(), reports.size());
+  for (std::size_t q = 0; q < preports.size(); ++q) {
+    ASSERT_EQ(detect::ReportDigest(preports[q]), digests[q])
+        << c.name << ": sharded engine diverged at quantum " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTest, ::testing::ValuesIn(kCorpus),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace scprt

@@ -9,7 +9,6 @@
 #include "stream/event_script.h"
 #include "stream/message.h"
 #include "stream/quantizer.h"
-#include "stream/sliding_window.h"
 #include "stream/synthetic.h"
 #include "stream/trace.h"
 
@@ -55,24 +54,6 @@ TEST(QuantizerTest, SplitIntoQuanta) {
   ASSERT_EQ(quanta.size(), 3u);
   EXPECT_EQ(quanta[2].messages.size(), 2u);
   EXPECT_EQ(quanta[1].index, 1);
-}
-
-TEST(SlidingWindowTest, EvictsAfterWQuanta) {
-  SlidingWindow window(3);
-  for (QuantumIndex i = 0; i < 3; ++i) {
-    Quantum q;
-    q.index = i;
-    q.messages.push_back(MakeMessage(static_cast<std::uint64_t>(i)));
-    EXPECT_FALSE(window.Push(std::move(q)).has_value());
-  }
-  EXPECT_TRUE(window.full());
-  EXPECT_EQ(window.message_count(), 3u);
-  Quantum q;
-  q.index = 3;
-  auto evicted = window.Push(std::move(q));
-  ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->index, 0);
-  EXPECT_EQ(window.size(), 3u);
 }
 
 TEST(EventProfileTest, TrapezoidShape) {
