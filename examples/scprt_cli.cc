@@ -4,15 +4,31 @@
 //       Generate a synthetic trace (with ground truth) to a file.
 //
 //   scprt_cli run <in.trace> [--delta N] [--gamma F] [--theta N] [--w N]
-//                 [--top N] [--stories] [--suppress-spurious]
+//                 [--top N] [--stories] [--suppress-spurious] [--threads N]
 //       Run the detector over a saved trace, print the event feed and the
 //       final precision/recall against the trace's ground truth.
+//       --threads > 1 runs the sharded engine (identical reports).
+//
+//   scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] [--workers N]
+//                 [--threads N] [--policy block|drop|sample]
+//                 [--sample-keep F] [--seed N] [--queue N] [--delta N]
+//                 [--gamma F] [--theta N] [--w N] [--top N]
+//                 [--synonyms FILE] [--metrics-json FILE]
+//       Stream raw text (JSON-lines or TSV; "-" reads stdin) through the
+//       parallel tokenize/intern frontend into the sharded detector and
+//       print events as they are discovered, plus final ingest metrics.
+//
+//   scprt_cli export <in.trace> <out> [--format jsonl|tsv]
+//       Render a saved trace as raw text in the ingest input format.
 //
 //   scprt_cli info <in.trace>
 //       Print trace statistics (messages, vocabulary, planted events).
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,12 +36,24 @@
 #include "detect/detector.h"
 #include "detect/postprocess.h"
 #include "detect/report.h"
+#include "engine/parallel_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
+#include "ingest/pipeline.h"
+#include "ingest/text_export.h"
 #include "stream/synthetic.h"
 #include "stream/trace.h"
+#include "text/concurrent_dictionary.h"
 
 using namespace scprt;
+
+// gcc 12 emits a -Wrestrict false positive from std::string assignment in
+// the flag parser once it is inlined into the (now large) main — a known
+// libstdc++ interaction (GCC PR105329 family). The code is a plain
+// assignment from argv; suppress the bogus diagnostic for this binary.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
 
 namespace {
 
@@ -36,7 +64,13 @@ int Usage() {
                "[--messages N]\n"
                "  scprt_cli run <in.trace> [--delta N] [--gamma F] "
                "[--theta N] [--w N] [--top N] [--stories] "
-               "[--suppress-spurious]\n"
+               "[--suppress-spurious] [--threads N]\n"
+               "  scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] "
+               "[--workers N] [--threads N] [--policy block|drop|sample] "
+               "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
+               "[--gamma F] [--theta N] [--w N] [--top N] [--synonyms FILE] "
+               "[--metrics-json FILE]\n"
+               "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
                "  scprt_cli info <in.trace>\n");
   return 2;
 }
@@ -116,6 +150,16 @@ int CmdInfo(const Args& args) {
   return 0;
 }
 
+detect::DetectorConfig DetectorConfigFromArgs(const Args& args) {
+  detect::DetectorConfig config;
+  config.quantum_size = std::stoul(args.Get("delta", "160"));
+  config.akg.ec_threshold = std::stod(args.Get("gamma", "0.20"));
+  config.akg.high_state_threshold =
+      static_cast<std::uint32_t>(std::stoul(args.Get("theta", "4")));
+  config.akg.window_length = std::stoul(args.Get("w", "30"));
+  return config;
+}
+
 int CmdRun(const Args& args) {
   if (args.positional.size() != 2) return Usage();
   stream::SyntheticTrace trace;
@@ -124,17 +168,17 @@ int CmdRun(const Args& args) {
                  args.positional[1].c_str());
     return 1;
   }
-  detect::DetectorConfig config;
-  config.quantum_size = std::stoul(args.Get("delta", "160"));
-  config.akg.ec_threshold = std::stod(args.Get("gamma", "0.20"));
-  config.akg.high_state_threshold =
-      static_cast<std::uint32_t>(std::stoul(args.Get("theta", "4")));
-  config.akg.window_length = std::stoul(args.Get("w", "30"));
+  const detect::DetectorConfig config = DetectorConfigFromArgs(args);
   const std::size_t top = std::stoul(args.Get("top", "3"));
   const bool stories = args.Has("stories");
   const bool suppress = args.Has("suppress-spurious");
 
-  detect::EventDetector detector(config, &trace.dictionary);
+  // threads == 1 runs the engine inline — exactly the serial detector; any
+  // thread count emits bit-identical reports.
+  engine::ParallelDetectorConfig engine_config;
+  engine_config.detector = config;
+  engine_config.threads = std::stoul(args.Get("threads", "1"));
+  engine::ParallelDetector detector(engine_config, &trace.dictionary);
   detect::SpuriousSuppressor suppressor(3);
   std::vector<detect::QuantumReport> reports;
   for (const stream::Message& m : trace.messages) {
@@ -195,6 +239,147 @@ int CmdRun(const Args& args) {
   return 0;
 }
 
+int CmdIngest(const Args& args) {
+  if (args.positional.size() != 2) return Usage();
+  const std::string& input = args.positional[1];
+
+  // Pick the source: explicit --format wins, else the file extension.
+  std::string format = args.Get("format", "");
+  if (format.empty()) {
+    format = input.size() >= 4 && input.substr(input.size() - 4) == ".tsv"
+                 ? "tsv"
+                 : "jsonl";
+  }
+  const bool use_stdin = input == "-";
+  std::unique_ptr<ingest::MessageSource> source;
+  if (format == "jsonl") {
+    source = use_stdin ? std::make_unique<ingest::JsonlSource>(std::cin)
+                       : std::make_unique<ingest::JsonlSource>(input);
+    if (!use_stdin && !static_cast<ingest::JsonlSource&>(*source).ok()) {
+      std::fprintf(stderr, "error: cannot read %s\n", input.c_str());
+      return 1;
+    }
+  } else if (format == "tsv") {
+    source = use_stdin ? std::make_unique<ingest::TsvSource>(std::cin)
+                       : std::make_unique<ingest::TsvSource>(input);
+    if (!use_stdin && !static_cast<ingest::TsvSource&>(*source).ok()) {
+      std::fprintf(stderr, "error: cannot read %s\n", input.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "error: unknown --format %s\n", format.c_str());
+    return Usage();
+  }
+
+  ingest::IngestConfig config;
+  config.workers = std::stoul(args.Get("workers", "4"));
+  config.queue_capacity = std::stoul(args.Get("queue", "1024"));
+  if (config.queue_capacity < 2 ||
+      (config.queue_capacity & (config.queue_capacity - 1)) != 0) {
+    std::fprintf(stderr, "error: --queue must be a power of two >= 2\n");
+    return 2;
+  }
+  const std::string policy = args.Get("policy", "block");
+  if (policy == "block") {
+    config.admission.policy = ingest::OverloadPolicy::kBlock;
+  } else if (policy == "drop") {
+    config.admission.policy = ingest::OverloadPolicy::kDropTail;
+  } else if (policy == "sample") {
+    config.admission.policy = ingest::OverloadPolicy::kFairSample;
+  } else {
+    std::fprintf(stderr, "error: unknown --policy %s\n", policy.c_str());
+    return Usage();
+  }
+  config.admission.seed = std::stoull(args.Get("seed", "0"));
+  config.admission.sample_keep_fraction =
+      std::stod(args.Get("sample-keep", "0.25"));
+  if (config.admission.sample_keep_fraction <= 0.0 ||
+      config.admission.sample_keep_fraction > 1.0) {
+    std::fprintf(stderr, "error: --sample-keep must be in (0, 1]\n");
+    return 2;
+  }
+  text::SynonymTable synonyms;
+  if (args.Has("synonyms")) {
+    if (!synonyms.LoadFile(args.Get("synonyms", ""))) {
+      std::fprintf(stderr, "error: cannot read synonym table %s\n",
+                   args.Get("synonyms", "").c_str());
+      return 1;
+    }
+    config.synonyms = &synonyms;
+  }
+
+  const std::size_t top = std::stoul(args.Get("top", "3"));
+  engine::ParallelDetectorConfig engine_config;
+  engine_config.detector = DetectorConfigFromArgs(args);
+  engine_config.threads = std::stoul(args.Get("threads", "1"));
+
+  text::ConcurrentKeywordDictionary dictionary;
+  engine::ParallelDetector detector(engine_config, &dictionary.view());
+  ingest::IngestPipeline pipeline(config, &dictionary);
+  ingest::QuantumAssembler sink = ingest::QuantumAssembler::For(
+      detector, [&](const detect::QuantumReport& report) {
+        std::size_t shown = 0;
+        bool printed_header = false;
+        for (const auto& snap : report.events) {
+          if (!snap.newly_reported || shown >= top) continue;
+          if (!printed_header) {
+            std::printf("-- quantum %lld --\n",
+                        static_cast<long long>(report.quantum));
+            printed_header = true;
+          }
+          std::printf("  %s\n",
+                      FormatEvent(snap, dictionary.view()).c_str());
+          ++shown;
+        }
+      });
+  // The callback above is the consumer; don't also retain every report
+  // (stdin streams may run unboundedly).
+  sink.set_keep_reports(false);
+
+  const ingest::IngestSnapshot stats = pipeline.Run(*source, sink);
+  std::printf("\ningest: %s\n", stats.Format().c_str());
+  std::printf("vocabulary: %zu keywords, %zu workers, %zu engine threads\n",
+              dictionary.size(), pipeline.workers(), detector.threads());
+  if (args.Has("metrics-json")) {
+    std::ofstream out(args.Get("metrics-json", ""));
+    out << stats.FormatJson() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.Get("metrics-json", "").c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  if (args.positional.size() != 3) return Usage();
+  stream::SyntheticTrace trace;
+  if (!stream::ReadTraceFile(args.positional[1], trace)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  const std::string format = args.Get("format", "jsonl");
+  bool ok;
+  if (format == "jsonl") {
+    ok = ingest::WriteJsonlFile(trace, args.positional[2]);
+  } else if (format == "tsv") {
+    ok = ingest::WriteTsvFile(trace, args.positional[2]);
+  } else {
+    std::fprintf(stderr, "error: unknown --format %s\n", format.c_str());
+    return Usage();
+  }
+  if (!ok) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 args.positional[2].c_str());
+    return 1;
+  }
+  std::printf("wrote %zu messages as %s -> %s\n", trace.messages.size(),
+              format.c_str(), args.positional[2].c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,6 +388,8 @@ int main(int argc, char** argv) {
   const std::string& cmd = args.positional[0];
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "run") return CmdRun(args);
+  if (cmd == "ingest") return CmdIngest(args);
+  if (cmd == "export") return CmdExport(args);
   if (cmd == "info") return CmdInfo(args);
   return Usage();
 }

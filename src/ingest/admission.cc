@@ -1,0 +1,42 @@
+#include "ingest/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace scprt::ingest {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  SCPRT_CHECK(config.sample_keep_fraction > 0.0 &&
+              config.sample_keep_fraction <= 1.0);
+  // Map the fraction onto the full 64-bit hash range. ldexp(f, 64) would
+  // overflow uint64 for f == 1.0, so saturate explicitly.
+  const double scaled = std::ldexp(config.sample_keep_fraction, 64);
+  keep_threshold_ =
+      scaled >= 18446744073709551615.0
+          ? ~0ULL
+          : static_cast<std::uint64_t>(scaled);
+}
+
+bool AdmissionController::InSample(UserId user) const {
+  return SplitMix64(static_cast<std::uint64_t>(user) ^ config_.seed) <
+         keep_threshold_;
+}
+
+Admission AdmissionController::Decide(UserId user, bool queue_full) const {
+  if (!queue_full) return Admission::kAdmit;
+  switch (config_.policy) {
+    case OverloadPolicy::kBlock:
+      return Admission::kRetry;
+    case OverloadPolicy::kDropTail:
+      return Admission::kShed;
+    case OverloadPolicy::kFairSample:
+      return InSample(user) ? Admission::kRetry : Admission::kShed;
+  }
+  return Admission::kRetry;  // unreachable
+}
+
+}  // namespace scprt::ingest

@@ -1,0 +1,84 @@
+// Admission control for the ingest frontend: what to do with an arriving
+// record when the staging queues are full.
+//
+// Below capacity every policy admits everything — overload is the only
+// discriminator, so "zero drops below capacity" holds by construction
+// (tests/ingest_pipeline_test.cc). Under overload:
+//
+//   * kBlock      — never shed; the reader waits for queue space (classic
+//                   backpressure, correct for file replay).
+//   * kDropTail   — shed the arriving record (bounded latency, correct for
+//                   live firehoses where stale messages lose value).
+//   * kFairSample — shed all records from users outside a deterministic,
+//                   seeded sample; records from sampled users wait for
+//                   space. Sampling by *user* (not message) follows the
+//                   paper's user-id-based duplicate resistance (Section
+//                   3.2): one user flooding duplicates cannot buy more
+//                   than its per-user admission share, and correlation
+//                   evidence — distinct user ids per keyword — degrades
+//                   gracefully because surviving users keep their entire
+//                   message stream.
+
+#ifndef SCPRT_INGEST_ADMISSION_H_
+#define SCPRT_INGEST_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace scprt::ingest {
+
+/// What to do with an arriving record under overload.
+enum class OverloadPolicy {
+  kBlock,
+  kDropTail,
+  kFairSample,
+};
+
+/// Admission tuning.
+struct AdmissionConfig {
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  /// Seed of the kFairSample user hash; the surviving user set is a pure
+  /// function of (user, seed, sample_keep_fraction).
+  std::uint64_t seed = 0;
+  /// Fraction of users admitted under overload by kFairSample, in (0, 1].
+  double sample_keep_fraction = 0.25;
+};
+
+/// Verdict for one record.
+enum class Admission {
+  /// Enqueue now (space is available).
+  kAdmit,
+  /// Keep the record and retry once the queues drain.
+  kRetry,
+  /// Drop the record (counted as shed).
+  kShed,
+};
+
+/// Stateless policy evaluator; decisions depend only on the config, the
+/// record's user and the instantaneous queue-full flag, so replaying the
+/// same (user, full) sequence yields the same verdicts.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Decides the fate of a record from `user` given whether its staging
+  /// queue is currently full.
+  Admission Decide(UserId user, bool queue_full) const;
+
+  /// True if `user` is inside the kFairSample survivor set — a pure
+  /// function of the config, exposed so tests and operators can predict
+  /// exactly which users survive overload under a given seed.
+  bool InSample(UserId user) const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  /// InSample threshold precomputed from sample_keep_fraction.
+  std::uint64_t keep_threshold_ = 0;
+};
+
+}  // namespace scprt::ingest
+
+#endif  // SCPRT_INGEST_ADMISSION_H_

@@ -1,0 +1,65 @@
+#include "ingest/assembler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scprt::ingest {
+
+QuantumAssembler::QuantumAssembler(std::size_t quantum_size,
+                                   ProcessFn process, ReportFn on_report,
+                                   bool flush_partial)
+    : quantizer_(quantum_size),
+      process_(std::move(process)),
+      on_report_(std::move(on_report)),
+      flush_partial_(flush_partial) {
+  SCPRT_CHECK(process_ != nullptr);
+}
+
+QuantumAssembler QuantumAssembler::For(detect::EventDetector& detector,
+                                       ReportFn on_report,
+                                       bool flush_partial) {
+  return QuantumAssembler(
+      detector.config().quantum_size,
+      [&detector](const stream::Quantum& quantum) {
+        return detector.ProcessQuantum(quantum);
+      },
+      std::move(on_report), flush_partial);
+}
+
+QuantumAssembler QuantumAssembler::For(engine::ParallelDetector& detector,
+                                       ReportFn on_report,
+                                       bool flush_partial) {
+  return QuantumAssembler(
+      detector.core().config().quantum_size,
+      [&detector](const stream::Quantum& quantum) {
+        return detector.ProcessQuantum(quantum);
+      },
+      std::move(on_report), flush_partial);
+}
+
+void QuantumAssembler::Push(stream::Message message) {
+  SCPRT_CHECK(!finished_);
+  if (auto quantum = quantizer_.Push(std::move(message))) {
+    Process(*quantum);
+  }
+}
+
+void QuantumAssembler::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!flush_partial_) return;
+  if (auto quantum = quantizer_.Flush()) {
+    Process(*quantum);
+  }
+}
+
+void QuantumAssembler::Process(const stream::Quantum& quantum) {
+  detect::QuantumReport report = process_(quantum);
+  ++quanta_;
+  if (metrics_) metrics_->AddQuantaEmitted(1);
+  if (on_report_) on_report_(report);
+  if (keep_reports_) reports_.push_back(std::move(report));
+}
+
+}  // namespace scprt::ingest

@@ -1,0 +1,80 @@
+#include "ingest/metrics.h"
+
+#include <cstdio>
+
+namespace scprt::ingest {
+
+void IngestMetrics::Reset() {
+  records_read_.store(0, std::memory_order_relaxed);
+  malformed_.store(0, std::memory_order_relaxed);
+  admitted_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  messages_emitted_.store(0, std::memory_order_relaxed);
+  quanta_emitted_.store(0, std::memory_order_relaxed);
+  tokens_.store(0, std::memory_order_relaxed);
+  keywords_.store(0, std::memory_order_relaxed);
+  tokenize_ns_.store(0, std::memory_order_relaxed);
+  peak_queue_depth_.store(0, std::memory_order_relaxed);
+  start_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+}
+
+IngestSnapshot IngestMetrics::Snapshot() const {
+  IngestSnapshot s;
+  s.records_read = records_read_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.messages_emitted = messages_emitted_.load(std::memory_order_relaxed);
+  s.quanta_emitted = quanta_emitted_.load(std::memory_order_relaxed);
+  s.tokens = tokens_.load(std::memory_order_relaxed);
+  s.keywords = keywords_.load(std::memory_order_relaxed);
+  s.tokenize_ns = tokenize_ns_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
+  s.elapsed_seconds =
+      start > 0 ? static_cast<double>(MonotonicNanos() - start) / 1e9
+                : 0.0;
+  return s;
+}
+
+std::string IngestSnapshot::Format() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%llu msgs (%llu quanta) in %.2fs = %.0f msg/s | "
+                "read %llu, shed %llu, malformed %llu | "
+                "%.2f us/msg tokenize, peak queue %llu",
+                static_cast<unsigned long long>(messages_emitted),
+                static_cast<unsigned long long>(quanta_emitted),
+                elapsed_seconds, MessagesPerSecond(),
+                static_cast<unsigned long long>(records_read),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(malformed),
+                TokenizeMicrosPerMessage(),
+                static_cast<unsigned long long>(peak_queue_depth));
+  return buf;
+}
+
+std::string IngestSnapshot::FormatJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"records_read\": %llu, \"malformed\": %llu, \"admitted\": %llu, "
+      "\"shed\": %llu, \"messages_emitted\": %llu, \"quanta_emitted\": %llu, "
+      "\"tokens\": %llu, \"keywords\": %llu, \"tokenize_ns\": %llu, "
+      "\"peak_queue_depth\": %llu, \"elapsed_seconds\": %.6f, "
+      "\"messages_per_second\": %.1f}",
+      static_cast<unsigned long long>(records_read),
+      static_cast<unsigned long long>(malformed),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(messages_emitted),
+      static_cast<unsigned long long>(quanta_emitted),
+      static_cast<unsigned long long>(tokens),
+      static_cast<unsigned long long>(keywords),
+      static_cast<unsigned long long>(tokenize_ns),
+      static_cast<unsigned long long>(peak_queue_depth), elapsed_seconds,
+      MessagesPerSecond());
+  return buf;
+}
+
+}  // namespace scprt::ingest

@@ -1,0 +1,106 @@
+// Live ingest metrics: lock-free counters written by the reader, the
+// tokenizer workers and the collector, snapshotable at any time from any
+// thread (a monitoring thread polls Snapshot() while the pipeline runs).
+
+#ifndef SCPRT_INGEST_METRICS_H_
+#define SCPRT_INGEST_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace scprt::ingest {
+
+/// Monotonic nanoseconds — the one clock for tokenize-latency accounting
+/// and elapsed-time baselines (keeping the two on the same source).
+inline std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Point-in-time copy of the counters, plus derived rates.
+struct IngestSnapshot {
+  std::uint64_t records_read = 0;     ///< pulled from the source
+  std::uint64_t malformed = 0;        ///< skipped by the source as unparsable
+  std::uint64_t admitted = 0;         ///< accepted into staging queues
+  std::uint64_t shed = 0;             ///< dropped by the admission policy
+  std::uint64_t messages_emitted = 0; ///< delivered to the sink
+  std::uint64_t quanta_emitted = 0;   ///< quanta cut by the assembler
+  std::uint64_t tokens = 0;           ///< raw tokens produced by workers
+  std::uint64_t keywords = 0;         ///< keywords surviving filters
+  std::uint64_t tokenize_ns = 0;      ///< summed worker tokenize time
+  std::uint64_t peak_queue_depth = 0; ///< max staging depth ever observed
+  double elapsed_seconds = 0;         ///< wall time (Run() start to snapshot)
+
+  /// Source-to-sink throughput; 0 before any time elapses.
+  double MessagesPerSecond() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(messages_emitted) / elapsed_seconds
+               : 0.0;
+  }
+  /// Mean tokenize cost per emitted message, in microseconds.
+  double TokenizeMicrosPerMessage() const {
+    return messages_emitted > 0 ? static_cast<double>(tokenize_ns) / 1e3 /
+                                      static_cast<double>(messages_emitted)
+                                : 0.0;
+  }
+
+  /// One-line human rendering.
+  std::string Format() const;
+  /// Flat JSON object (machine-readable bench/monitoring output).
+  std::string FormatJson() const;
+};
+
+/// The live counters. Writers use relaxed atomics — counts are statistics,
+/// not synchronization; the pipeline's queues order the data itself.
+class IngestMetrics {
+ public:
+  void AddRecordsRead(std::uint64_t n) { Add(records_read_, n); }
+  void AddMalformed(std::uint64_t n) { Add(malformed_, n); }
+  void AddAdmitted(std::uint64_t n) { Add(admitted_, n); }
+  void AddShed(std::uint64_t n) { Add(shed_, n); }
+  void AddMessagesEmitted(std::uint64_t n) { Add(messages_emitted_, n); }
+  void AddQuantaEmitted(std::uint64_t n) { Add(quanta_emitted_, n); }
+  void AddTokens(std::uint64_t n) { Add(tokens_, n); }
+  void AddKeywords(std::uint64_t n) { Add(keywords_, n); }
+  void AddTokenizeNs(std::uint64_t n) { Add(tokenize_ns_, n); }
+
+  /// Raises the peak staging-queue depth watermark to at least `depth`.
+  void ObserveQueueDepth(std::uint64_t depth) {
+    std::uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Zeroes every counter and restamps the elapsed-time baseline; each
+  /// IngestPipeline::Run starts from a clean slate so the returned
+  /// snapshot describes that run alone.
+  void Reset();
+
+  /// Copies every counter; callable concurrently with writers.
+  IngestSnapshot Snapshot() const;
+
+ private:
+  static void Add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> records_read_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> messages_emitted_{0};
+  std::atomic<std::uint64_t> quanta_emitted_{0};
+  std::atomic<std::uint64_t> tokens_{0};
+  std::atomic<std::uint64_t> keywords_{0};
+  std::atomic<std::uint64_t> tokenize_ns_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<std::int64_t> start_ns_{0};
+};
+
+}  // namespace scprt::ingest
+
+#endif  // SCPRT_INGEST_METRICS_H_

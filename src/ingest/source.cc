@@ -1,0 +1,134 @@
+#include "ingest/source.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+
+#include "ingest/jsonl.h"
+#include "ingest/text_export.h"
+
+namespace scprt::ingest {
+
+namespace {
+
+// Reads the next non-blank line; false at end of stream.
+bool NextLine(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i < line.size()) return true;
+  }
+  return false;
+}
+
+// Strict decimal parse of a whole field into Int.
+template <typename Int>
+bool ParseField(std::string_view field, Int& out) {
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+JsonlSource::JsonlSource(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) return;
+  in_ = file.get();
+  owned_ = std::move(file);
+}
+
+bool JsonlSource::Next(RawRecord& out) {
+  if (!in_) return false;
+  while (NextLine(*in_, line_)) {
+    JsonlRecord record;
+    if (!ParseJsonlRecord(line_, record)) {
+      ++malformed_;
+      continue;
+    }
+    out = RawRecord{};
+    out.user = record.user;
+    out.event_id = record.event_id;
+    out.text = std::move(record.text);
+    return true;
+  }
+  return false;
+}
+
+TsvSource::TsvSource(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) return;
+  in_ = file.get();
+  owned_ = std::move(file);
+}
+
+bool TsvSource::Next(RawRecord& out) {
+  if (!in_) return false;
+  while (NextLine(*in_, line_)) {
+    if (line_[0] == '#') continue;
+    const std::string_view line = line_;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      ++malformed_;
+      continue;
+    }
+    UserId user = 0;
+    if (!ParseField(line.substr(0, tab), user)) {
+      ++malformed_;
+      continue;
+    }
+    std::string_view rest = line.substr(tab + 1);
+    std::int32_t event_id = stream::kBackground;
+    // Optional middle column: `user \t event \t text`. Text may not contain
+    // tabs, so a second tab whose prefix parses as an integer is the label.
+    const std::size_t tab2 = rest.find('\t');
+    if (tab2 != std::string_view::npos) {
+      std::int32_t label = 0;
+      if (ParseField(rest.substr(0, tab2), label)) {
+        event_id = label;
+        rest = rest.substr(tab2 + 1);
+      }
+    }
+    if (rest.empty()) {
+      ++malformed_;
+      continue;
+    }
+    out = RawRecord{};
+    out.user = user;
+    out.event_id = event_id;
+    out.text.assign(rest);
+    return true;
+  }
+  return false;
+}
+
+bool TraceSource::Next(RawRecord& out) {
+  if (next_ >= messages_->size()) return false;
+  const stream::Message& message = (*messages_)[next_++];
+  out = RawRecord{};
+  out.user = message.user;
+  out.event_id = message.event_id;
+  out.keywords = message.keywords;
+  out.pretokenized = true;
+  return true;
+}
+
+GeneratorSource::GeneratorSource(const stream::SyntheticConfig& config)
+    : trace_(stream::GenerateSyntheticTrace(config)) {}
+
+bool GeneratorSource::Next(RawRecord& out) {
+  if (next_ >= trace_.messages.size()) return false;
+  const stream::Message& message = trace_.messages[next_++];
+  out = RawRecord{};
+  out.user = message.user;
+  out.event_id = message.event_id;
+  out.text = RenderMessageText(message, trace_.dictionary);
+  return true;
+}
+
+}  // namespace scprt::ingest

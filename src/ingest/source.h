@@ -1,0 +1,123 @@
+// Pluggable message sources for the ingest pipeline.
+//
+// A MessageSource pulls one RawRecord at a time. Raw-text sources (JSONL,
+// TSV, the in-memory generator) emit text that the frontend workers
+// tokenize; the trace source emits pre-tokenized keyword ids and bypasses
+// tokenization entirely, which is how the equivalence tests compare the two
+// paths over the same token stream.
+
+#ifndef SCPRT_INGEST_SOURCE_H_
+#define SCPRT_INGEST_SOURCE_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/message.h"
+#include "stream/synthetic.h"
+
+namespace scprt::ingest {
+
+/// One unit of input before tokenization.
+struct RawRecord {
+  UserId user = 0;
+  /// Ground-truth passthrough for evaluation; the detector never reads it.
+  std::int32_t event_id = stream::kBackground;
+  /// Raw message text (raw-text sources; empty when pretokenized).
+  std::string text;
+  /// Interned keywords (pre-tokenized sources; empty otherwise).
+  std::vector<KeywordId> keywords;
+  /// True when `keywords` is authoritative and `text` is to be ignored.
+  bool pretokenized = false;
+};
+
+/// Pull interface over an input stream of records.
+class MessageSource {
+ public:
+  virtual ~MessageSource() = default;
+
+  /// Pulls the next record; false at end of stream. Malformed input is
+  /// skipped (and counted), never returned.
+  virtual bool Next(RawRecord& out) = 0;
+
+  /// Input lines skipped as malformed so far.
+  virtual std::uint64_t malformed_count() const { return 0; }
+};
+
+/// JSON-lines raw text: one {"user":N,"text":"...","event":N?} per line
+/// (see ingest/jsonl.h for the schema). Blank lines are skipped silently;
+/// malformed lines are skipped and counted.
+class JsonlSource : public MessageSource {
+ public:
+  /// Reads from a stream owned by the caller (must outlive the source).
+  explicit JsonlSource(std::istream& in) : in_(&in) {}
+  /// Opens `path`; ok() reports whether the open succeeded.
+  explicit JsonlSource(const std::string& path);
+
+  bool ok() const { return in_ != nullptr; }
+  bool Next(RawRecord& out) override;
+  std::uint64_t malformed_count() const override { return malformed_; }
+
+ private:
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_ = nullptr;
+  std::string line_;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Tab-separated raw text: `user<TAB>text` or `user<TAB>event<TAB>text`.
+/// Lines starting with '#' and blank lines are skipped silently; malformed
+/// lines (bad user id, missing text column) are skipped and counted.
+class TsvSource : public MessageSource {
+ public:
+  explicit TsvSource(std::istream& in) : in_(&in) {}
+  explicit TsvSource(const std::string& path);
+
+  bool ok() const { return in_ != nullptr; }
+  bool Next(RawRecord& out) override;
+  std::uint64_t malformed_count() const override { return malformed_; }
+
+ private:
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_ = nullptr;
+  std::string line_;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Pre-tokenized messages (a synthetic trace or a loaded trace file). The
+/// messages are borrowed and must outlive the source.
+class TraceSource : public MessageSource {
+ public:
+  explicit TraceSource(const std::vector<stream::Message>& messages)
+      : messages_(&messages) {}
+
+  bool Next(RawRecord& out) override;
+
+ private:
+  const std::vector<stream::Message>* messages_;
+  std::size_t next_ = 0;
+};
+
+/// In-memory raw-text firehose: generates a synthetic trace and renders
+/// each message back to text through the trace's own dictionary, so the
+/// pipeline faces genuine tokenize/intern work without any file I/O.
+class GeneratorSource : public MessageSource {
+ public:
+  explicit GeneratorSource(const stream::SyntheticConfig& config);
+
+  bool Next(RawRecord& out) override;
+
+  /// The generated ground truth (for evaluation and dictionary seeding).
+  const stream::SyntheticTrace& trace() const { return trace_; }
+
+ private:
+  stream::SyntheticTrace trace_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace scprt::ingest
+
+#endif  // SCPRT_INGEST_SOURCE_H_

@@ -1,0 +1,47 @@
+// Rendering pre-tokenized traces back to raw text (JSONL / TSV).
+//
+// The inverse of the ingest frontend for tokenizer-stable vocabularies:
+// spellings that are already lower-case, stop-word-free and tokenizable
+// round-trip exactly (render -> tokenize gives back the same token
+// sequence), which is what lets the equivalence tests and the raw-text
+// demo drive the full pipeline from a synthetic trace.
+
+#ifndef SCPRT_INGEST_TEXT_EXPORT_H_
+#define SCPRT_INGEST_TEXT_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "stream/message.h"
+#include "stream/synthetic.h"
+#include "text/keyword_dictionary.h"
+
+namespace scprt::ingest {
+
+/// Space-joined spellings of `message`'s keywords, in keyword order.
+std::string RenderMessageText(const stream::Message& message,
+                              const text::KeywordDictionary& dictionary);
+
+/// One JSONL line for `message` (no trailing newline). Includes the
+/// "event" field only for planted messages.
+std::string RenderJsonlLine(const stream::Message& message,
+                            const text::KeywordDictionary& dictionary);
+
+/// One TSV line for `message` (no trailing newline): `user<TAB>text`, or
+/// `user<TAB>event<TAB>text` for planted messages.
+std::string RenderTsvLine(const stream::Message& message,
+                          const text::KeywordDictionary& dictionary);
+
+/// Writes the whole trace as JSONL / TSV. Returns false on stream failure.
+bool WriteJsonl(const stream::SyntheticTrace& trace, std::ostream& out);
+bool WriteTsv(const stream::SyntheticTrace& trace, std::ostream& out);
+
+/// File variants.
+bool WriteJsonlFile(const stream::SyntheticTrace& trace,
+                    const std::string& path);
+bool WriteTsvFile(const stream::SyntheticTrace& trace,
+                  const std::string& path);
+
+}  // namespace scprt::ingest
+
+#endif  // SCPRT_INGEST_TEXT_EXPORT_H_

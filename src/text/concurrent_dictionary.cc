@@ -1,0 +1,31 @@
+#include "text/concurrent_dictionary.h"
+
+#include <mutex>
+
+namespace scprt::text {
+
+void ConcurrentKeywordDictionary::SeedFrom(const KeywordDictionary& source) {
+  std::unique_lock lock(mutex_);
+  for (KeywordId id = 0; id < source.size(); ++id) {
+    const KeywordId copy = dictionary_.Intern(source.Spelling(id));
+    dictionary_.SetNoun(copy, source.IsNoun(id));
+  }
+}
+
+KeywordId ConcurrentKeywordDictionary::TryLookup(
+    std::string_view keyword) const {
+  std::shared_lock lock(mutex_);
+  return dictionary_.Lookup(keyword);
+}
+
+KeywordId ConcurrentKeywordDictionary::Intern(std::string_view keyword) {
+  std::unique_lock lock(mutex_);
+  return dictionary_.Intern(keyword);
+}
+
+std::size_t ConcurrentKeywordDictionary::size() const {
+  std::shared_lock lock(mutex_);
+  return dictionary_.size();
+}
+
+}  // namespace scprt::text

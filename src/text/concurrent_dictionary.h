@@ -1,0 +1,77 @@
+// Thread-safe keyword interner for the ingest frontend.
+//
+// KeywordDictionary assigns ids in first-arrival order, and the whole
+// detection stack (keyword sharding, report digests, golden traces) depends
+// on that order being deterministic. A naive lock-free concurrent interner
+// would assign ids in scheduling order and make every downstream report a
+// function of thread timing. This wrapper therefore splits the two
+// operations the ingest pipeline actually needs:
+//
+//   * TryLookup — called concurrently by every tokenizer worker under a
+//     shared lock. After vocabulary warm-up this is ~100% of calls.
+//   * Intern    — called only by the single collector thread, in stream
+//     order, under an exclusive lock. New ids are thus assigned in
+//     first-arrival *sequence* order regardless of worker count, which is
+//     what keeps the raw-text path bit-identical to the trace path
+//     (tests/ingest_pipeline_test.cc).
+//
+// The underlying KeywordDictionary is exposed read-only for the detector
+// (noun filter, report formatting). That is safe because the detector runs
+// on the same thread that interns: no write can be concurrent with its
+// reads, and worker TryLookups synchronize through the shared mutex.
+
+#ifndef SCPRT_TEXT_CONCURRENT_DICTIONARY_H_
+#define SCPRT_TEXT_CONCURRENT_DICTIONARY_H_
+
+#include <shared_mutex>
+#include <string_view>
+
+#include "common/types.h"
+#include "text/keyword_dictionary.h"
+
+namespace scprt::text {
+
+/// Shared-read / exclusive-write facade over a KeywordDictionary.
+class ConcurrentKeywordDictionary {
+ public:
+  ConcurrentKeywordDictionary() = default;
+
+  /// Takes ownership of an existing dictionary (ids are preserved), e.g. a
+  /// synthetic trace's vocabulary when replaying it as raw text.
+  explicit ConcurrentKeywordDictionary(KeywordDictionary dictionary)
+      : dictionary_(std::move(dictionary)) {}
+
+  ConcurrentKeywordDictionary(const ConcurrentKeywordDictionary&) = delete;
+  ConcurrentKeywordDictionary& operator=(const ConcurrentKeywordDictionary&) =
+      delete;
+
+  /// Copies `source` entry by entry, preserving noun flags — and ids, when
+  /// this dictionary is still empty (KeywordDictionary itself is move-only,
+  /// hence the copy loop). Must not run concurrently with any other member.
+  void SeedFrom(const KeywordDictionary& source);
+
+  /// Id of `keyword`, or kInvalidKeyword if never interned. Safe to call
+  /// from any number of threads concurrently with Intern.
+  KeywordId TryLookup(std::string_view keyword) const;
+
+  /// Interns `keyword` (id of the existing entry when already present).
+  /// Single-writer: only one thread may intern, but it may do so while
+  /// other threads TryLookup.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Number of interned keywords (exact only when no Intern is in flight).
+  std::size_t size() const;
+
+  /// Read-only view for the detector and report formatting. Callers must
+  /// not use it concurrently with Intern; the ingest pipeline guarantees
+  /// that by interning and detecting on the same thread.
+  const KeywordDictionary& view() const { return dictionary_; }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  KeywordDictionary dictionary_;
+};
+
+}  // namespace scprt::text
+
+#endif  // SCPRT_TEXT_CONCURRENT_DICTIONARY_H_
