@@ -14,9 +14,16 @@
 //                 [--sample-keep F] [--seed N] [--queue N] [--delta N]
 //                 [--gamma F] [--theta N] [--w N] [--top N]
 //                 [--synonyms FILE] [--metrics-json FILE]
+//                 [--checkpoint-dir DIR] [--resume] [--ckpt-quanta K]
+//                 [--ckpt-seconds T] [--ckpt-full-every N]
 //       Stream raw text (JSON-lines or TSV; "-" reads stdin) through the
 //       parallel tokenize/intern frontend into the sharded detector and
 //       print events as they are discovered, plus final ingest metrics.
+//       --checkpoint-dir makes the deployment durable: it snapshots into
+//       DIR every K quanta (and/or every T seconds) at quantum
+//       boundaries, and --resume continues a previous run from the last
+//       checkpoint + source cursor. See docs/operations.md for the
+//       runbook and docs/cli.md for the full flag reference.
 //
 //   scprt_cli export <in.trace> <out> [--format jsonl|tsv]
 //       Render a saved trace as raw text in the ingest input format.
@@ -36,9 +43,11 @@
 #include "detect/detector.h"
 #include "detect/postprocess.h"
 #include "detect/report.h"
+#include "detect/snapshot_io.h"
 #include "engine/parallel_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
+#include "ingest/durable.h"
 #include "ingest/pipeline.h"
 #include "ingest/text_export.h"
 #include "stream/synthetic.h"
@@ -69,7 +78,8 @@ int Usage() {
                "[--workers N] [--threads N] [--policy block|drop|sample] "
                "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
                "[--gamma F] [--theta N] [--w N] [--top N] [--synonyms FILE] "
-               "[--metrics-json FILE]\n"
+               "[--metrics-json FILE] [--checkpoint-dir DIR] [--resume] "
+               "[--ckpt-quanta K] [--ckpt-seconds T] [--ckpt-full-every N]\n"
                "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
                "  scprt_cli info <in.trace>\n");
   return 2;
@@ -312,6 +322,114 @@ int CmdIngest(const Args& args) {
   engine::ParallelDetectorConfig engine_config;
   engine_config.detector = DetectorConfigFromArgs(args);
   engine_config.threads = std::stoul(args.Get("threads", "1"));
+
+  // --checkpoint-dir switches to the durable session: snapshots on
+  // cadence, and with --resume it continues from the last checkpoint.
+  if (args.Has("checkpoint-dir")) {
+    ingest::DurableConfig durable;
+    durable.directory = args.Get("checkpoint-dir", "");
+    durable.checkpoint_quanta = std::stoul(args.Get("ckpt-quanta", "16"));
+    durable.checkpoint_seconds = std::stod(args.Get("ckpt-seconds", "0"));
+    durable.full_interval = std::stoul(args.Get("ckpt-full-every", "4"));
+    if (durable.full_interval < 1) {
+      std::fprintf(stderr, "error: --ckpt-full-every must be >= 1\n");
+      return 2;
+    }
+    if (durable.checkpoint_quanta == 0 &&
+        durable.checkpoint_seconds <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --ckpt-quanta 0 needs --ckpt-seconds > 0 (with "
+                   "both triggers off nothing would ever checkpoint)\n");
+      return 2;
+    }
+    ingest::DurableIngest session(config, engine_config, durable);
+    if (args.Has("resume")) {
+      const ingest::ResumeResult resume = session.Resume();
+      switch (resume.outcome) {
+        case ingest::ResumeResult::Outcome::kFresh:
+          std::printf("resume: no checkpoint in %s — starting fresh\n",
+                      durable.directory.c_str());
+          break;
+        case ingest::ResumeResult::Outcome::kResumed:
+          std::printf(
+              "resume: restored %s%s%s -> quantum %lld, record %llu\n",
+              resume.full_path.c_str(),
+              resume.delta_path.empty() ? "" : " + ",
+              resume.delta_path.c_str(),
+              static_cast<long long>(resume.next_quantum),
+              static_cast<unsigned long long>(resume.cursor.record_index));
+          if (!resume.detail.empty()) {
+            std::fprintf(stderr, "resume: skipped: %s\n",
+                         resume.detail.c_str());
+          }
+          break;
+        case ingest::ResumeResult::Outcome::kFailed:
+          // The typed error is the point: "corrupt" means restore from an
+          // older generation or accept the loss; "version skew" means the
+          // software changed — take a fresh full checkpoint, nothing is
+          // damaged.
+          std::fprintf(
+              stderr, "error: cannot resume from %s: %s\n%s%s",
+              durable.directory.c_str(),
+              detect::snapshot_io::LoadErrorName(resume.error),
+              resume.detail.empty() ? "" : resume.detail.c_str(),
+              resume.detail.empty() ? "" : "\n");
+          if (resume.error ==
+              detect::snapshot_io::LoadError::kVersionSkew) {
+            std::fprintf(stderr,
+                         "hint: checkpoints were written by a different "
+                         "format version; restart without --resume and a "
+                         "fresh full snapshot will be taken\n");
+          }
+          return 1;
+      }
+    }
+    const auto snapshot = session.Run(
+        *source, [&](const detect::QuantumReport& report) {
+          std::size_t shown = 0;
+          bool printed_header = false;
+          for (const auto& snap : report.events) {
+            if (!snap.newly_reported || shown >= top) continue;
+            if (!printed_header) {
+              std::printf("-- quantum %lld --\n",
+                          static_cast<long long>(report.quantum));
+              printed_header = true;
+            }
+            std::printf(
+                "  %s\n",
+                FormatEvent(snap, session.dictionary().view()).c_str());
+            ++shown;
+          }
+        });
+    if (!snapshot.has_value()) {
+      std::fprintf(stderr,
+                   "error: source cannot seek to the resume cursor (stdin "
+                   "and other one-shot streams cannot replay their tail)\n");
+      return 1;
+    }
+    std::printf("\ningest: %s\n", snapshot->Format().c_str());
+    if (snapshot->recovery_seconds > 0) {
+      std::printf("recovery: %.3fs load+seek, %llu quanta replayed\n",
+                  snapshot->recovery_seconds,
+                  static_cast<unsigned long long>(session.replayed_quanta()));
+    }
+    if (session.checkpoint_failures() > 0) {
+      std::fprintf(stderr, "warning: %llu checkpoint writes failed\n",
+                   static_cast<unsigned long long>(
+                       session.checkpoint_failures()));
+    }
+    std::printf("vocabulary: %zu keywords\n", session.dictionary().size());
+    if (args.Has("metrics-json")) {
+      std::ofstream out(args.Get("metrics-json", ""));
+      out << snapshot->FormatJson() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args.Get("metrics-json", "").c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   text::ConcurrentKeywordDictionary dictionary;
   engine::ParallelDetector detector(engine_config, &dictionary.view());

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_ingest.json files and flag throughput regressions.
+
+Usage: bench_trend.py PREVIOUS.json CURRENT.json [--threshold 0.10]
+                      [--strict]
+
+Compares the per-(name, workers) msgs_per_sec series (core / frontend /
+e2e) and the headline core rate. A drop larger than --threshold emits a
+GitHub Actions ::warning:: annotation (or ::error:: and exit 1 with
+--strict — shared-runner benchmarks are noisy, so the default only
+flags). Missing series are reported but never fatal: the matrix may
+legitimately change between runs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    with open(path) as f:
+        data = json.load(f)
+    series = {}
+    for run in data.get("runs", []):
+        series[(run["name"], run["workers"])] = run["msgs_per_sec"]
+    return data, series
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional drop that counts as a regression")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on regression")
+    args = parser.parse_args()
+
+    try:
+        prev_data, prev = load_series(args.previous)
+    except (OSError, ValueError) as e:
+        # No previous artifact (first run, expired retention): not an error.
+        print(f"bench_trend: no usable previous data ({e}); skipping diff")
+        return 0
+    cur_data, cur = load_series(args.current)
+
+    regressions = []
+    print(f"{'series':<16}{'workers':>8}{'previous':>12}{'current':>12}"
+          f"{'delta':>9}")
+    for key in sorted(cur):
+        name, workers = key
+        now = cur[key]
+        before = prev.get(key)
+        if before is None:
+            print(f"{name:<16}{workers:>8}{'-':>12}{now:>12.0f}{'new':>9}")
+            continue
+        delta = (now - before) / before if before > 0 else 0.0
+        print(f"{name:<16}{workers:>8}{before:>12.0f}{now:>12.0f}"
+              f"{delta:>8.1%}")
+        if delta < -args.threshold:
+            regressions.append(
+                f"{name}/{workers}w: {before:.0f} -> {now:.0f} msg/s "
+                f"({delta:.1%})")
+    for key in sorted(set(prev) - set(cur)):
+        print(f"{key[0]:<16}{key[1]:>8}{prev[key]:>12.0f}{'-':>12}"
+              f"{'gone':>9}")
+
+    prev_core = prev_data.get("core_msgs_per_sec")
+    cur_core = cur_data.get("core_msgs_per_sec")
+    if prev_core and cur_core:
+        delta = (cur_core - prev_core) / prev_core
+        if delta < -args.threshold:
+            regressions.append(
+                f"core headline: {prev_core:.0f} -> {cur_core:.0f} msg/s "
+                f"({delta:.1%})")
+
+    if regressions:
+        level = "error" if args.strict else "warning"
+        for r in regressions:
+            print(f"::{level}::bench_ingest regression vs previous run: {r}")
+        return 1 if args.strict else 0
+    print("bench_trend: no msg/s regressions over "
+          f"{args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,66 +10,94 @@ namespace scprt::detect {
 
 namespace sio = snapshot_io;
 
+namespace {
+
+void SetError(sio::LoadError* error, sio::LoadError value) {
+  if (error != nullptr) *error = value;
+}
+
+}  // namespace
+
 bool SaveCheckpoint(const EventDetector& detector, std::ostream& out,
-                    std::uint64_t* checkpoint_id) {
+                    std::uint64_t* checkpoint_id,
+                    const CheckpointExtras& extras) {
   BinaryWriter payload;
   sio::WriteConfig(payload, detector.config());
-  detector.SaveState(payload);
+  detector.SaveState(payload, extras.quantizer_override);
+  if (extras.ingest != nullptr) {
+    sio::WriteIngestSection(payload, *extras.ingest);
+  }
   return sio::WriteFrame(out, sio::FrameKind::kFull, payload.data(),
                          checkpoint_id);
 }
 
 bool SaveCheckpointFile(const EventDetector& detector,
                         const std::string& path,
-                        std::uint64_t* checkpoint_id) {
+                        std::uint64_t* checkpoint_id,
+                        const CheckpointExtras& extras) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  return SaveCheckpoint(detector, out, checkpoint_id);
+  return SaveCheckpoint(detector, out, checkpoint_id, extras);
 }
 
 std::unique_ptr<EventDetector> LoadCheckpoint(
     std::istream& in, const text::KeywordDictionary* dictionary,
-    std::uint64_t* checkpoint_id) {
-  std::string payload;
-  std::uint64_t id = 0;
-  if (!sio::ReadFrame(in, sio::FrameKind::kFull, payload, &id)) {
+    std::uint64_t* checkpoint_id, sio::LoadError* error,
+    sio::IngestState* ingest, bool* ingest_present) {
+  std::unique_ptr<EventDetector> detector;
+  if (!sio::ReadFullSnapshot(
+          in,
+          [&](BinaryReader& reader, const DetectorConfig& config) {
+            detector = std::make_unique<EventDetector>(config, dictionary);
+            return detector->RestoreState(reader);
+          },
+          checkpoint_id, error, ingest, ingest_present)) {
     return nullptr;
   }
-  BinaryReader reader(payload);
-  DetectorConfig config;
-  if (!sio::ReadConfig(reader, config)) return nullptr;
-  auto detector = std::make_unique<EventDetector>(config, dictionary);
-  if (!detector->RestoreState(reader) || reader.remaining() != 0) {
-    return nullptr;
-  }
-  if (checkpoint_id != nullptr) *checkpoint_id = id;
   return detector;
 }
 
 std::unique_ptr<EventDetector> LoadCheckpointFile(
     const std::string& path, const text::KeywordDictionary* dictionary,
-    std::uint64_t* checkpoint_id) {
+    std::uint64_t* checkpoint_id, sio::LoadError* error,
+    sio::IngestState* ingest, bool* ingest_present) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return nullptr;
-  return LoadCheckpoint(in, dictionary, checkpoint_id);
+  if (!in) {
+    SetError(error, sio::LoadError::kIo);
+    return nullptr;
+  }
+  return LoadCheckpoint(in, dictionary, checkpoint_id, error, ingest,
+                        ingest_present);
 }
 
 bool SaveDeltaCheckpoint(const EventDetector& detector,
                          std::uint64_t base_id,
                          const std::vector<stream::Quantum>& quanta_since_base,
-                         std::ostream& out) {
+                         std::ostream& out, const CheckpointExtras& extras) {
+  const stream::Quantizer* quantizer = extras.quantizer_override;
   BinaryWriter payload;
-  sio::WriteDelta(payload, base_id, detector.next_quantum_index(),
-                  quanta_since_base, detector.pending_messages());
+  sio::WriteDelta(
+      payload, base_id,
+      quantizer != nullptr ? quantizer->next_index()
+                           : detector.next_quantum_index(),
+      quanta_since_base,
+      quantizer != nullptr ? quantizer->pending()
+                           : detector.pending_messages());
+  if (extras.ingest != nullptr) {
+    sio::WriteIngestSection(payload, *extras.ingest);
+  }
   return sio::WriteFrame(out, sio::FrameKind::kDelta, payload.data());
 }
 
 bool ApplyDeltaCheckpoint(EventDetector& detector, std::istream& in,
-                          std::uint64_t expected_base_id) {
+                          std::uint64_t expected_base_id,
+                          sio::LoadError* error, sio::IngestState* ingest,
+                          bool* ingest_present) {
   sio::DeltaPayload delta;
   if (!sio::ReadAndValidateDelta(in, expected_base_id,
                                  detector.next_quantum_index(),
-                                 detector.config().quantum_size, delta)) {
+                                 detector.config().quantum_size, delta,
+                                 error, ingest, ingest_present)) {
     return false;
   }
   // Everything validated — replay the bounded span. Re-processing is
@@ -101,19 +129,25 @@ bool CheckpointManager::full_due() const {
 }
 
 bool CheckpointManager::SaveFull(const EventDetector& detector,
-                                 std::ostream& out) {
+                                 std::ostream& out,
+                                 const CheckpointExtras& extras) {
   std::uint64_t id = 0;
-  if (!SaveCheckpoint(detector, out, &id)) return false;
-  base_id_ = id;
-  have_base_ = true;
-  log_.clear();
+  if (!SaveCheckpoint(detector, out, &id, extras)) return false;
+  OnFullSaved(id);
   return true;
 }
 
 bool CheckpointManager::SaveDelta(const EventDetector& detector,
-                                  std::ostream& out) const {
+                                  std::ostream& out,
+                                  const CheckpointExtras& extras) const {
   if (!have_base_) return false;
-  return SaveDeltaCheckpoint(detector, base_id_, log_, out);
+  return SaveDeltaCheckpoint(detector, base_id_, log_, out, extras);
+}
+
+void CheckpointManager::OnFullSaved(std::uint64_t checkpoint_id) {
+  base_id_ = checkpoint_id;
+  have_base_ = true;
+  log_.clear();
 }
 
 }  // namespace scprt::detect

@@ -45,50 +45,81 @@
 #include <vector>
 
 #include "detect/detector.h"
+#include "detect/snapshot_io.h"
 
 namespace scprt::detect {
+
+/// Optional attachments to a snapshot, used by the checkpoint-aware ingest
+/// path (ingest/durable.h). `quantizer_override` substitutes another
+/// quantizer's clock and pending partial quantum for the detector's own —
+/// in the ingest pipeline, accumulation lives in the QuantumAssembler's
+/// quantizer, not the detector's. `ingest` appends the IngestState
+/// trailing section (dictionary, admission seeds, source cursor).
+struct CheckpointExtras {
+  const stream::Quantizer* quantizer_override = nullptr;
+  const snapshot_io::IngestState* ingest = nullptr;
+};
 
 /// Writes a full native snapshot of `detector` to `out`. `checkpoint_id`
 /// (optional out) receives the snapshot's id, which a later delta chains
 /// to. Returns false on stream failure.
 bool SaveCheckpoint(const EventDetector& detector, std::ostream& out,
-                    std::uint64_t* checkpoint_id = nullptr);
+                    std::uint64_t* checkpoint_id = nullptr,
+                    const CheckpointExtras& extras = {});
 
 /// Saves to a file path.
 bool SaveCheckpointFile(const EventDetector& detector,
                         const std::string& path,
-                        std::uint64_t* checkpoint_id = nullptr);
+                        std::uint64_t* checkpoint_id = nullptr,
+                        const CheckpointExtras& extras = {});
 
 /// Restores a detector from a full snapshot. The stored configuration is
 /// used; `dictionary` follows the EventDetector constructor contract.
 /// `checkpoint_id` (optional out) receives the snapshot's id for delta
-/// chaining. Returns nullptr on malformed input.
+/// chaining. Returns nullptr on malformed input; `error` (optional out)
+/// then carries the typed reason (corrupt vs. version skew vs. ...).
+/// `ingest`/`ingest_present` (optional outs) receive the IngestState
+/// trailing section when the snapshot carries one; a PR 2-era snapshot
+/// without it still restores the bare detector.
 std::unique_ptr<EventDetector> LoadCheckpoint(
     std::istream& in, const text::KeywordDictionary* dictionary,
-    std::uint64_t* checkpoint_id = nullptr);
+    std::uint64_t* checkpoint_id = nullptr,
+    snapshot_io::LoadError* error = nullptr,
+    snapshot_io::IngestState* ingest = nullptr,
+    bool* ingest_present = nullptr);
 
 /// Loads from a file path.
 std::unique_ptr<EventDetector> LoadCheckpointFile(
     const std::string& path, const text::KeywordDictionary* dictionary,
-    std::uint64_t* checkpoint_id = nullptr);
+    std::uint64_t* checkpoint_id = nullptr,
+    snapshot_io::LoadError* error = nullptr,
+    snapshot_io::IngestState* ingest = nullptr,
+    bool* ingest_present = nullptr);
 
 /// Writes a delta checkpoint: the quanta processed since the base full
 /// snapshot identified by `base_id` (oldest first), plus `detector`'s
-/// current pending partial quantum and clock. Returns false on stream
-/// failure. Serial detectors only — an engine's pending messages live in
-/// its outer quantizer, so engine deltas go through
-/// ParallelDetector::SaveDeltaCheckpoint.
+/// current pending partial quantum and clock (or the override's — see
+/// CheckpointExtras). Returns false on stream failure. Serial detectors
+/// only — an engine's pending messages live in its outer quantizer, so
+/// engine deltas go through ParallelDetector::SaveDeltaCheckpoint.
 bool SaveDeltaCheckpoint(const EventDetector& detector,
                          std::uint64_t base_id,
                          const std::vector<stream::Quantum>& quanta_since_base,
-                         std::ostream& out);
+                         std::ostream& out,
+                         const CheckpointExtras& extras = {});
 
 /// Applies a delta to `detector`, which must have just been restored from
 /// the delta's base full snapshot (enforced via `expected_base_id`).
 /// Parses and validates the whole delta before touching the detector;
-/// returns false (detector unchanged) on malformed input or base mismatch.
+/// returns false (detector unchanged) on malformed input or base mismatch,
+/// with the reason in `error` (optional out) — a broken delta chain
+/// surfaces as kBaseMismatch rather than being swallowed into a generic
+/// failure. `ingest`/`ingest_present` mirror LoadCheckpoint's.
 bool ApplyDeltaCheckpoint(EventDetector& detector, std::istream& in,
-                          std::uint64_t expected_base_id);
+                          std::uint64_t expected_base_id,
+                          snapshot_io::LoadError* error = nullptr,
+                          snapshot_io::IngestState* ingest = nullptr,
+                          bool* ingest_present = nullptr);
 
 /// Cadence bookkeeping for a full + delta checkpoint schedule: records the
 /// quanta processed since the last full snapshot and remembers the base id
@@ -116,16 +147,29 @@ class CheckpointManager {
 
   /// Saves a full snapshot and resets the delta log. Returns false on
   /// stream failure (the log is kept then).
-  bool SaveFull(const EventDetector& detector, std::ostream& out);
+  bool SaveFull(const EventDetector& detector, std::ostream& out,
+                const CheckpointExtras& extras = {});
 
   /// Saves a delta against the last full snapshot. Requires SaveFull to
   /// have succeeded at least once.
-  bool SaveDelta(const EventDetector& detector, std::ostream& out) const;
+  bool SaveDelta(const EventDetector& detector, std::ostream& out,
+                 const CheckpointExtras& extras = {}) const;
 
   /// Id of the last full snapshot (0 before the first SaveFull).
   std::uint64_t base_id() const { return base_id_; }
 
   std::size_t quanta_since_full() const { return log_.size(); }
+
+  /// The delta log itself — the quanta recorded since the last full
+  /// snapshot, oldest first. Callers that write snapshots through another
+  /// saver (the sharded engine's, which must quiesce its pool first) pass
+  /// this to that saver and then call OnFullSaved.
+  const std::vector<stream::Quantum>& log() const { return log_; }
+
+  /// Records that a full snapshot with `checkpoint_id` was written by an
+  /// external saver: installs it as the delta base and clears the log —
+  /// the hook ingest/durable.h drives the engine path through.
+  void OnFullSaved(std::uint64_t checkpoint_id);
 
  private:
   std::size_t full_interval_;

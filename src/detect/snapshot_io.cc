@@ -16,7 +16,38 @@ constexpr std::uint64_t kMaxQuantumSize = 1u << 30;
 constexpr std::uint64_t kMaxWindowLength = 1u << 24;
 constexpr std::uint64_t kMaxMinHashSize = 1u << 20;
 
+// IngestState trailing-section framing ("INGS" little-endian) and its own
+// version counter, bumped independently of the container version.
+constexpr std::uint32_t kIngestSectionMagic = 0x53474E49;
+constexpr std::uint32_t kIngestSectionVersion = 1;
+
+void SetError(LoadError* error, LoadError value) {
+  if (error != nullptr) *error = value;
+}
+
 }  // namespace
+
+const char* LoadErrorName(LoadError error) {
+  switch (error) {
+    case LoadError::kNone:
+      return "ok";
+    case LoadError::kIo:
+      return "io error";
+    case LoadError::kBadMagic:
+      return "not a checkpoint file";
+    case LoadError::kVersionSkew:
+      return "version skew";
+    case LoadError::kKindMismatch:
+      return "frame kind mismatch";
+    case LoadError::kCorrupt:
+      return "corrupt";
+    case LoadError::kBaseMismatch:
+      return "delta base mismatch";
+    case LoadError::kStateMismatch:
+      return "delta/state mismatch";
+  }
+  return "unknown";
+}
 
 bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
                 std::uint64_t* checkpoint_id) {
@@ -35,17 +66,32 @@ bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
 }
 
 bool ReadFrame(std::istream& in, FrameKind expected_kind,
-               std::string& payload, std::uint64_t* checkpoint_id) {
+               std::string& payload, std::uint64_t* checkpoint_id,
+               LoadError* error) {
+  SetError(error, LoadError::kCorrupt);
   char header_bytes[25];
-  if (!in.read(header_bytes, sizeof(header_bytes))) return false;
+  if (!in.read(header_bytes, sizeof(header_bytes))) {
+    // An unreadable or empty stream is an I/O problem; a stream that
+    // yielded some bytes but not a whole header is a truncated file.
+    if (in.gcount() == 0) SetError(error, LoadError::kIo);
+    return false;
+  }
   BinaryReader header(std::string_view(header_bytes, sizeof(header_bytes)));
   char magic[8];
   if (!header.ReadBytes(magic, sizeof(magic)) ||
       std::char_traits<char>::compare(magic, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, LoadError::kBadMagic);
     return false;
   }
-  if (header.U32() != kFormatVersion) return false;  // no cross-version load
-  if (header.U8() != static_cast<std::uint8_t>(expected_kind)) return false;
+  const std::uint32_t version = header.U32();
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    SetError(error, LoadError::kVersionSkew);
+    return false;
+  }
+  if (header.U8() != static_cast<std::uint8_t>(expected_kind)) {
+    SetError(error, LoadError::kKindMismatch);
+    return false;
+  }
   const std::uint64_t length = header.U64();
   const std::uint32_t expected_crc = header.U32();
   // Read exactly `length` bytes; a short read is a truncated file. The
@@ -66,6 +112,88 @@ bool ReadFrame(std::istream& in, FrameKind expected_kind,
   if (Crc32(body) != expected_crc) return false;
   payload = std::move(body);
   if (checkpoint_id != nullptr) *checkpoint_id = expected_crc;
+  SetError(error, LoadError::kNone);
+  return true;
+}
+
+void WriteIngestSection(BinaryWriter& out, const IngestState& state) {
+  BinaryWriter body;
+  body.U64(state.dictionary_base);
+  body.U64(state.dictionary_state.size());
+  body.Bytes(state.dictionary_state.data(), state.dictionary_state.size());
+  body.U8(state.admission_policy);
+  body.U64(state.admission_seed);
+  body.F64(state.sample_keep_fraction);
+  body.U64(state.cursor_record);
+  body.U64(state.cursor_byte);
+  body.U64(state.next_seq);
+  body.U64(state.quanta_cut);
+  body.U64(state.records_read);
+  body.U64(state.shed);
+  out.U32(kIngestSectionMagic);
+  out.U32(kIngestSectionVersion);
+  out.U64(body.size());
+  out.U32(Crc32(body.data()));
+  out.Bytes(body.data().data(), body.size());
+}
+
+bool ReadIngestSection(BinaryReader& in, IngestState& state,
+                       LoadError* error) {
+  SetError(error, LoadError::kCorrupt);
+  if (in.U32() != kIngestSectionMagic) {
+    in.Fail();
+    return false;
+  }
+  const std::uint32_t version = in.U32();
+  const std::uint64_t length = in.U64();
+  const std::uint32_t crc = in.U32();
+  if (!in.ok() || !in.CheckLength(length, 1)) return false;
+  if (version != kIngestSectionVersion) {
+    // The length field lets an old reader skip a future section, but this
+    // codebase has exactly one reader — reject as skew, like the container.
+    in.Fail();
+    SetError(error, LoadError::kVersionSkew);
+    return false;
+  }
+  std::string body(length, '\0');
+  if (!in.ReadBytes(body.data(), body.size())) return false;
+  if (Crc32(body) != crc) {
+    in.Fail();
+    return false;
+  }
+  BinaryReader section(body);
+  IngestState parsed;
+  parsed.dictionary_base = section.U64();
+  const std::uint64_t dict_bytes = section.U64();
+  if (!section.CheckLength(dict_bytes, 1)) {
+    in.Fail();
+    return false;
+  }
+  parsed.dictionary_state.resize(dict_bytes);
+  if (!section.ReadBytes(parsed.dictionary_state.data(), dict_bytes)) {
+    in.Fail();
+    return false;
+  }
+  parsed.admission_policy = section.U8();
+  parsed.admission_seed = section.U64();
+  parsed.sample_keep_fraction = section.F64();
+  parsed.cursor_record = section.U64();
+  parsed.cursor_byte = section.U64();
+  parsed.next_seq = section.U64();
+  parsed.quanta_cut = section.U64();
+  parsed.records_read = section.U64();
+  parsed.shed = section.U64();
+  // The keep fraction feeds an AdmissionController precondition, and the
+  // section must end exactly where its length said it would.
+  if (!section.ok() || section.remaining() != 0 ||
+      parsed.admission_policy > 2 ||
+      !(parsed.sample_keep_fraction > 0.0) ||
+      !(parsed.sample_keep_fraction <= 1.0)) {
+    in.Fail();
+    return false;
+  }
+  state = std::move(parsed);
+  SetError(error, LoadError::kNone);
   return true;
 }
 
@@ -187,20 +315,77 @@ bool ReadDelta(BinaryReader& in, DeltaPayload& delta) {
   return in.ok();
 }
 
+bool ReadFullSnapshot(
+    std::istream& in,
+    const std::function<bool(BinaryReader&, const DetectorConfig&)>&
+        restore_state,
+    std::uint64_t* checkpoint_id, LoadError* error, IngestState* ingest,
+    bool* ingest_present) {
+  if (ingest_present != nullptr) *ingest_present = false;
+  std::string payload;
+  std::uint64_t id = 0;
+  if (!ReadFrame(in, FrameKind::kFull, payload, &id, error)) return false;
+  SetError(error, LoadError::kCorrupt);
+  BinaryReader reader(payload);
+  DetectorConfig config;
+  if (!ReadConfig(reader, config)) return false;
+  if (!restore_state(reader, config)) return false;
+  // Version-3 snapshots may carry a trailing IngestState section; a PR
+  // 2-era payload simply ends here and restores a bare detector.
+  bool have_ingest = false;
+  if (reader.remaining() != 0) {
+    IngestState parsed;
+    if (!ReadIngestSection(reader, parsed, error)) return false;
+    SetError(error, LoadError::kCorrupt);
+    if (ingest != nullptr) *ingest = std::move(parsed);
+    have_ingest = true;
+  }
+  if (reader.remaining() != 0) return false;
+  if (ingest_present != nullptr) *ingest_present = have_ingest;
+  if (checkpoint_id != nullptr) *checkpoint_id = id;
+  SetError(error, LoadError::kNone);
+  return true;
+}
+
 bool ReadAndValidateDelta(std::istream& in, std::uint64_t expected_base_id,
                           QuantumIndex next_index, std::size_t quantum_size,
-                          DeltaPayload& delta) {
+                          DeltaPayload& delta, LoadError* error,
+                          IngestState* ingest, bool* ingest_present) {
+  if (ingest_present != nullptr) *ingest_present = false;
   std::string payload;
-  if (!ReadFrame(in, FrameKind::kDelta, payload)) return false;
+  if (!ReadFrame(in, FrameKind::kDelta, payload, nullptr, error)) {
+    return false;
+  }
+  SetError(error, LoadError::kCorrupt);
   BinaryReader reader(payload);
   DeltaPayload parsed;
-  if (!ReadDelta(reader, parsed) || reader.remaining() != 0) return false;
-  if (parsed.base_id != expected_base_id) return false;
-  if (parsed.pending.size() >= quantum_size) return false;
-  if (!parsed.quanta.empty() && parsed.quanta.front().index < next_index) {
-    return false;  // delta overlaps state the base already contains
+  if (!ReadDelta(reader, parsed)) return false;
+  // Version-3 deltas may carry a trailing IngestState; parse (and so
+  // validate) it even when the caller restores a bare detector.
+  IngestState parsed_ingest;
+  bool have_ingest = false;
+  if (reader.remaining() != 0) {
+    if (!ReadIngestSection(reader, parsed_ingest, error)) return false;
+    have_ingest = true;
+    SetError(error, LoadError::kCorrupt);
+  }
+  if (reader.remaining() != 0) return false;
+  if (parsed.base_id != expected_base_id) {
+    SetError(error, LoadError::kBaseMismatch);
+    return false;
+  }
+  if (parsed.pending.size() >= quantum_size ||
+      (!parsed.quanta.empty() &&
+       parsed.quanta.front().index < next_index)) {
+    // Over-full pending, or quanta overlapping state the base already
+    // contains: a well-formed delta aimed at the wrong restore target.
+    SetError(error, LoadError::kStateMismatch);
+    return false;
   }
   delta = std::move(parsed);
+  if (have_ingest && ingest != nullptr) *ingest = std::move(parsed_ingest);
+  if (ingest_present != nullptr) *ingest_present = have_ingest;
+  SetError(error, LoadError::kNone);
   return true;
 }
 

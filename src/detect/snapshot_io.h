@@ -4,7 +4,7 @@
 //
 //   offset  size  field
 //   0       8     magic "SCPRTSNP"
-//   8       4     format version (little-endian u32; currently 2)
+//   8       4     format version (little-endian u32; currently 3)
 //   12      1     kind: 1 = full snapshot, 2 = delta
 //   13      8     payload length in bytes (u64)
 //   21      4     CRC-32 (IEEE) of the payload bytes
@@ -15,25 +15,36 @@
 // additionally bounds-checked end to end (see common/binary_io.h), so even
 // a corrupt payload with a forged CRC cannot crash or over-allocate.
 //
-// Full payload:  [config section][detector state section] — the state
-// section is EventDetector::SaveState's canonical encoding of every derived
-// structure (AKG layer, graph + clusters with their ids, rank histories,
-// first-report set, quantizer clock + partial quantum).
+// Full payload:  [config section][detector state section][IngestState?] —
+// the state section is EventDetector::SaveState's canonical encoding of
+// every derived structure (AKG layer, graph + clusters with their ids,
+// rank histories, first-report set, quantizer clock + partial quantum).
 //
 // Delta payload: the id of the base full snapshot (its payload CRC), the
 // quanta processed since that base (raw messages — bounded by the full-
-// snapshot interval, not by the window), and the pending partial quantum at
-// delta time.
+// snapshot interval, not by the window), the pending partial quantum at
+// delta time, and an optional trailing IngestState.
 //
-// Versioning policy: the format version bumps on ANY encoding change; there
-// is no cross-version migration — a loader rejects other versions and the
-// operator takes a fresh full snapshot after upgrading. Checkpoints are
-// recovery artifacts, not archives.
+// IngestState (version 3) is an optional trailing section with its own
+// magic / section version / length / CRC framing: the ingest frontend's
+// side of a live deployment — the keyword dictionary, admission seeds, the
+// source cursor to resume reading from, and the stream counters. Snapshots
+// written without it (version 2, or a bare detector save) restore a bare
+// detector exactly as before.
+//
+// Versioning policy and skew rules (the full table is docs/formats.md):
+// the container version bumps on ANY encoding change. Loaders accept
+// [kMinFormatVersion, kFormatVersion]; version 2 payloads are a strict
+// prefix of version 3's (no IngestState), so both parse through the same
+// path. Version 1 (the replay era) and future versions are rejected as
+// kVersionSkew — checkpoints are recovery artifacts, not archives, so
+// there is no migration: take a fresh full snapshot after upgrading.
 
 #ifndef SCPRT_DETECT_SNAPSHOT_IO_H_
 #define SCPRT_DETECT_SNAPSHOT_IO_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -45,11 +56,77 @@
 namespace scprt::detect::snapshot_io {
 
 inline constexpr char kMagic[8] = {'S', 'C', 'P', 'R', 'T', 'S', 'N', 'P'};
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// Current container version (written by every save).
+inline constexpr std::uint32_t kFormatVersion = 3;
+/// Oldest container version still accepted by loaders (PR 2-era snapshots
+/// without an IngestState section).
+inline constexpr std::uint32_t kMinFormatVersion = 2;
 
+/// What a frame contains: a complete snapshot or a delta against one.
 enum class FrameKind : std::uint8_t {
   kFull = 1,
   kDelta = 2,
+};
+
+/// Why a checkpoint failed to load. Everything except kNone means the load
+/// returned failure; the distinctions let an operator tell "this file is
+/// damaged" (kCorrupt — restore from an older checkpoint) from "this file
+/// is from another software version" (kVersionSkew — take a fresh full
+/// snapshot after upgrading) from "this delta belongs to a different base"
+/// (kBaseMismatch — the chain is broken, use the matching full).
+enum class LoadError : std::uint8_t {
+  kNone = 0,
+  /// The stream could not be opened or yielded no bytes at all.
+  kIo,
+  /// The first 8 bytes are not the snapshot magic — not a checkpoint file.
+  kBadMagic,
+  /// Valid magic, but a container (or IngestState section) version outside
+  /// the supported range.
+  kVersionSkew,
+  /// A full frame where a delta was expected, or vice versa.
+  kKindMismatch,
+  /// Truncation, CRC failure, or a malformed payload.
+  kCorrupt,
+  /// A delta whose base id does not match the restored full snapshot.
+  kBaseMismatch,
+  /// A structurally valid delta that is incompatible with the restore
+  /// target (overlapping quanta or an over-full pending partial quantum).
+  kStateMismatch,
+};
+
+/// Stable human-readable name ("corrupt", "version skew", ...).
+const char* LoadErrorName(LoadError error);
+
+/// The ingest frontend's durable state, carried as the optional trailing
+/// section of a snapshot payload. All fields are the values at the fence
+/// point (the quantum boundary the checkpoint was cut at).
+struct IngestState {
+  /// text::KeywordDictionary::SaveState blob (spellings + noun flags in
+  /// id order) — the vocabulary the snapshot's keyword ids are relative
+  /// to. A full snapshot carries the whole dictionary (dictionary_base
+  /// 0); a delta carries only the tail interned since its base full
+  /// snapshot, whose dictionary size is dictionary_base (ids are
+  /// append-only, so the prefix never changes).
+  std::string dictionary_state;
+  /// First keyword id of dictionary_state's entries.
+  std::uint64_t dictionary_base = 0;
+  /// AdmissionConfig at save time: policy ordinal, sampling seed and keep
+  /// fraction. Restoring them keeps the kFairSample survivor set identical
+  /// across the restart.
+  std::uint8_t admission_policy = 0;
+  std::uint64_t admission_seed = 0;
+  double sample_keep_fraction = 0.25;
+  /// Source cursor of the last record whose message reached the sink:
+  /// records consumed and the byte offset to Seek() to.
+  std::uint64_t cursor_record = 0;
+  std::uint64_t cursor_byte = 0;
+  /// Sequence number the next collected message must carry.
+  std::uint64_t next_seq = 0;
+  /// Quanta cut by the assembler so far (cumulative across restarts).
+  std::uint64_t quanta_cut = 0;
+  /// Lifetime source counters (cumulative across restarts).
+  std::uint64_t records_read = 0;
+  std::uint64_t shed = 0;
 };
 
 /// Writes one framed payload. `checkpoint_id` (optional out) receives the
@@ -59,10 +136,38 @@ bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
                 std::uint64_t* checkpoint_id = nullptr);
 
 /// Reads and verifies one frame of the expected kind. Returns false on bad
-/// magic, version skew, kind mismatch, truncation or CRC failure;
-/// `payload`/`checkpoint_id` are only written on success.
+/// magic, version skew, kind mismatch, truncation or CRC failure (`error`,
+/// when non-null, receives the reason); `payload`/`checkpoint_id` are only
+/// written on success.
 bool ReadFrame(std::istream& in, FrameKind expected_kind,
-               std::string& payload, std::uint64_t* checkpoint_id = nullptr);
+               std::string& payload, std::uint64_t* checkpoint_id = nullptr,
+               LoadError* error = nullptr);
+
+/// Appends the IngestState trailing section (its own magic, section
+/// version, length and CRC — see docs/formats.md) to a payload.
+void WriteIngestSection(BinaryWriter& out, const IngestState& state);
+
+/// Parses an IngestState trailing section. Returns false on malformed
+/// input; `error` (when non-null) distinguishes a future section version
+/// (kVersionSkew) from damage (kCorrupt). The dictionary blob is framed
+/// and length-checked here but decoded by the caller (text/ owns the
+/// entry codec).
+bool ReadIngestSection(BinaryReader& in, IngestState& state,
+                       LoadError* error = nullptr);
+
+/// Reads one full frame and parses its payload: config section, then
+/// `restore_state` (which consumes the detector-state section — the
+/// serial and engine loaders construct their detector from `config` and
+/// run RestoreState inside it), then the optional trailing IngestState.
+/// The single definition of full-payload acceptance, shared by
+/// detect::LoadCheckpoint and engine::ParallelDetector::LoadCheckpoint.
+/// Returns false (with the typed reason in `error`) on any failure.
+bool ReadFullSnapshot(
+    std::istream& in,
+    const std::function<bool(BinaryReader&, const DetectorConfig&)>&
+        restore_state,
+    std::uint64_t* checkpoint_id = nullptr, LoadError* error = nullptr,
+    IngestState* ingest = nullptr, bool* ingest_present = nullptr);
 
 /// Serializes the detector configuration.
 void WriteConfig(BinaryWriter& out, const DetectorConfig& config);
@@ -102,15 +207,20 @@ void WriteDelta(BinaryWriter& out, std::uint64_t base_id,
 bool ReadDelta(BinaryReader& in, DeltaPayload& delta);
 
 /// Reads one delta frame from `in` and validates it against the restore
-/// target: the base id must match, the pending partial quantum must fit
-/// under `quantum_size`, and the delta's quanta must not overlap state the
-/// base already contains (`next_index` is the target's clock). The single
-/// definition of delta acceptance — the serial and sharded appliers both
-/// go through it, so a delta file is valid for one iff for the other.
-/// Returns false on any failure; `delta` is only written on success.
+/// target: the base id must match (kBaseMismatch otherwise — surfaced, not
+/// swallowed), the pending partial quantum must fit under `quantum_size`,
+/// and the delta's quanta must not overlap state the base already contains
+/// (`next_index` is the target's clock; violations are kStateMismatch).
+/// The single definition of delta acceptance — the serial and sharded
+/// appliers both go through it, so a delta file is valid for one iff for
+/// the other. Returns false on any failure; `delta` is only written on
+/// success. `ingest` (optional out) receives the trailing IngestState when
+/// the frame carries one; `ingest_present` the presence flag.
 bool ReadAndValidateDelta(std::istream& in, std::uint64_t expected_base_id,
                           QuantumIndex next_index, std::size_t quantum_size,
-                          DeltaPayload& delta);
+                          DeltaPayload& delta, LoadError* error = nullptr,
+                          IngestState* ingest = nullptr,
+                          bool* ingest_present = nullptr);
 
 }  // namespace scprt::detect::snapshot_io
 

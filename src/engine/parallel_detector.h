@@ -35,8 +35,10 @@
 #include <optional>
 #include <vector>
 
+#include "detect/checkpoint.h"
 #include "detect/config.h"
 #include "detect/detector.h"
+#include "detect/snapshot_io.h"
 #include "engine/shard_pool.h"
 #include "stream/message.h"
 #include "stream/quantizer.h"
@@ -76,34 +78,64 @@ class ParallelDetector {
   /// The wrapped single-writer core (state inspection).
   const detect::EventDetector& core() const { return detector_; }
 
-  /// Writes a full native snapshot after quiescing the shard pool. The
-  /// format is detect/checkpoint.h's: a snapshot saved here loads through
-  /// detect::LoadCheckpoint (and vice versa) — thread count is an engine
-  /// property, not a snapshot property. Returns false on stream failure.
+  /// Writes a full native snapshot after quiescing the shard pool (the
+  /// checkpoint fence: every in-flight shard task completes before a state
+  /// byte is read). The format is detect/checkpoint.h's: a snapshot saved
+  /// here loads through detect::LoadCheckpoint (and vice versa) — thread
+  /// count is an engine property, not a snapshot property. `extras`
+  /// attaches a quantizer override / IngestState exactly as the serial
+  /// saver does (the ingest path passes its assembler's quantizer — the
+  /// outermost accumulator). Returns false on stream failure.
   bool SaveCheckpoint(std::ostream& out,
-                      std::uint64_t* checkpoint_id = nullptr);
+                      std::uint64_t* checkpoint_id = nullptr,
+                      const detect::CheckpointExtras& extras = {});
 
   /// Restores an engine from a full snapshot, running on `threads` workers
-  /// (0 derives hardware concurrency). Returns nullptr on malformed input.
+  /// (0 derives hardware concurrency). Returns nullptr on malformed input,
+  /// with the typed reason in `error` (optional out); `ingest` /
+  /// `ingest_present` surface the IngestState section when present.
   static std::unique_ptr<ParallelDetector> LoadCheckpoint(
       std::istream& in, const text::KeywordDictionary* dictionary,
-      std::size_t threads, std::uint64_t* checkpoint_id = nullptr);
+      std::size_t threads, std::uint64_t* checkpoint_id = nullptr,
+      detect::snapshot_io::LoadError* error = nullptr,
+      detect::snapshot_io::IngestState* ingest = nullptr,
+      bool* ingest_present = nullptr);
 
   /// Writes a delta checkpoint against the full snapshot identified by
   /// `base_id`: the given quanta processed since it, plus this engine's
   /// current pending partial quantum and clock (which live in the outer
   /// quantizer — detect::SaveDeltaCheckpoint on core() would silently save
-  /// an empty pending list, so engine deltas must go through here).
+  /// an empty pending list, so engine deltas must go through here; an
+  /// extras.quantizer_override substitutes the ingest assembler's).
   bool SaveDeltaCheckpoint(std::uint64_t base_id,
                            const std::vector<stream::Quantum>& quanta,
-                           std::ostream& out);
+                           std::ostream& out,
+                           const detect::CheckpointExtras& extras = {});
 
   /// Applies a delta checkpoint (same format as the serial applier — both
   /// validate through snapshot_io::ReadAndValidateDelta) to this freshly
   /// restored engine; the bounded replay runs sharded. Returns false
-  /// (engine unchanged) on malformed input or base mismatch.
-  bool ApplyDeltaCheckpoint(std::istream& in,
-                            std::uint64_t expected_base_id);
+  /// (engine unchanged) on malformed input or base mismatch, with the
+  /// typed reason in `error` (optional out).
+  bool ApplyDeltaCheckpoint(std::istream& in, std::uint64_t expected_base_id,
+                            detect::snapshot_io::LoadError* error = nullptr,
+                            detect::snapshot_io::IngestState* ingest = nullptr,
+                            bool* ingest_present = nullptr);
+
+  /// Replays an already-validated delta payload (the staged resume path:
+  /// ingest/durable.h must install the delta's dictionary before the
+  /// replay touches its keyword ids, so validation and application are
+  /// separate steps there).
+  void ApplyValidatedDelta(const detect::snapshot_io::DeltaPayload& delta);
+
+  /// Clock of the outer quantizer (the engine's accumulation point).
+  QuantumIndex next_quantum_index() const { return quantizer_.next_index(); }
+
+  /// Moves the restored pending partial quantum out of the outer quantizer
+  /// (ingest resume hands accumulation onward to the assembler).
+  std::vector<stream::Message> TakePendingMessages() {
+    return quantizer_.TakePending();
+  }
 
  private:
   /// Stage 1 + 2: the canonical aggregate, built on keyword shards.

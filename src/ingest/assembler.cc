@@ -38,6 +38,14 @@ QuantumAssembler QuantumAssembler::For(engine::ParallelDetector& detector,
       std::move(on_report), flush_partial);
 }
 
+bool QuantumAssembler::Restore(QuantumIndex next_index,
+                               std::vector<stream::Message> pending,
+                               std::uint64_t quanta) {
+  if (!quantizer_.Restore(next_index, std::move(pending))) return false;
+  quanta_ = quanta;
+  return true;
+}
+
 void QuantumAssembler::Push(stream::Message message) {
   SCPRT_CHECK(!finished_);
   if (auto quantum = quantizer_.Push(std::move(message))) {

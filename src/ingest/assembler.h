@@ -79,6 +79,25 @@ class QuantumAssembler final : public MessageSink {
   /// Quanta cut so far.
   std::uint64_t quanta() const { return quanta_; }
 
+  /// The δ-cut quantizer — in the ingest pipeline this is the outermost
+  /// accumulation point, so its clock and pending partial quantum are what
+  /// a checkpoint must capture (detect::CheckpointExtras).
+  const stream::Quantizer& quantizer() const { return quantizer_; }
+
+  /// Checkpoint resume: installs the restored clock, pending partial
+  /// quantum and cumulative cut count in one step. Same contract as
+  /// stream::Quantizer::Restore — `pending` must hold fewer than a
+  /// quantum's worth of messages; returns false (assembler unchanged)
+  /// otherwise.
+  bool Restore(QuantumIndex next_index,
+               std::vector<stream::Message> pending, std::uint64_t quanta);
+
+  /// Moves the unflushed partial quantum out (a finished-without-flush
+  /// segment run hands it to the next segment's assembler).
+  std::vector<stream::Message> TakePending() {
+    return quantizer_.TakePending();
+  }
+
  private:
   void Process(const stream::Quantum& quantum);
 

@@ -15,6 +15,11 @@ void IngestMetrics::Reset() {
   keywords_.store(0, std::memory_order_relaxed);
   tokenize_ns_.store(0, std::memory_order_relaxed);
   peak_queue_depth_.store(0, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
+  checkpoint_bytes_.store(0, std::memory_order_relaxed);
+  checkpoint_ns_.store(0, std::memory_order_relaxed);
+  // recovery_ns_ deliberately survives: it is set by the resume that led
+  // into the Run whose Reset this is.
   start_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
 }
 
@@ -30,6 +35,12 @@ IngestSnapshot IngestMetrics::Snapshot() const {
   s.keywords = keywords_.load(std::memory_order_relaxed);
   s.tokenize_ns = tokenize_ns_.load(std::memory_order_relaxed);
   s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
+  s.recovery_seconds =
+      static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) /
+      1e9;
   const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
   s.elapsed_seconds =
       start > 0 ? static_cast<double>(MonotonicNanos() - start) / 1e9
@@ -38,30 +49,39 @@ IngestSnapshot IngestMetrics::Snapshot() const {
 }
 
 std::string IngestSnapshot::Format() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%llu msgs (%llu quanta) in %.2fs = %.0f msg/s | "
-                "read %llu, shed %llu, malformed %llu | "
-                "%.2f us/msg tokenize, peak queue %llu",
-                static_cast<unsigned long long>(messages_emitted),
-                static_cast<unsigned long long>(quanta_emitted),
-                elapsed_seconds, MessagesPerSecond(),
-                static_cast<unsigned long long>(records_read),
-                static_cast<unsigned long long>(shed),
-                static_cast<unsigned long long>(malformed),
-                TokenizeMicrosPerMessage(),
-                static_cast<unsigned long long>(peak_queue_depth));
+  char buf[320];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "%llu msgs (%llu quanta) in %.2fs = %.0f msg/s | "
+      "read %llu, shed %llu, malformed %llu | "
+      "%.2f us/msg tokenize, peak queue %llu",
+      static_cast<unsigned long long>(messages_emitted),
+      static_cast<unsigned long long>(quanta_emitted), elapsed_seconds,
+      MessagesPerSecond(), static_cast<unsigned long long>(records_read),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(malformed),
+      TokenizeMicrosPerMessage(),
+      static_cast<unsigned long long>(peak_queue_depth));
+  if (checkpoints > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                  " | %llu ckpts, %.1f ms/ckpt",
+                  static_cast<unsigned long long>(checkpoints),
+                  CheckpointMillis());
+  }
   return buf;
 }
 
 std::string IngestSnapshot::FormatJson() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"records_read\": %llu, \"malformed\": %llu, \"admitted\": %llu, "
       "\"shed\": %llu, \"messages_emitted\": %llu, \"quanta_emitted\": %llu, "
       "\"tokens\": %llu, \"keywords\": %llu, \"tokenize_ns\": %llu, "
-      "\"peak_queue_depth\": %llu, \"elapsed_seconds\": %.6f, "
+      "\"peak_queue_depth\": %llu, \"checkpoints\": %llu, "
+      "\"checkpoint_bytes\": %llu, \"checkpoint_ns\": %llu, "
+      "\"recovery_seconds\": %.6f, \"elapsed_seconds\": %.6f, "
       "\"messages_per_second\": %.1f}",
       static_cast<unsigned long long>(records_read),
       static_cast<unsigned long long>(malformed),
@@ -72,8 +92,11 @@ std::string IngestSnapshot::FormatJson() const {
       static_cast<unsigned long long>(tokens),
       static_cast<unsigned long long>(keywords),
       static_cast<unsigned long long>(tokenize_ns),
-      static_cast<unsigned long long>(peak_queue_depth), elapsed_seconds,
-      MessagesPerSecond());
+      static_cast<unsigned long long>(peak_queue_depth),
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(checkpoint_bytes),
+      static_cast<unsigned long long>(checkpoint_ns), recovery_seconds,
+      elapsed_seconds, MessagesPerSecond());
   return buf;
 }
 

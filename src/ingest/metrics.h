@@ -32,6 +32,10 @@ struct IngestSnapshot {
   std::uint64_t keywords = 0;         ///< keywords surviving filters
   std::uint64_t tokenize_ns = 0;      ///< summed worker tokenize time
   std::uint64_t peak_queue_depth = 0; ///< max staging depth ever observed
+  std::uint64_t checkpoints = 0;      ///< checkpoints written this run
+  std::uint64_t checkpoint_bytes = 0; ///< bytes written to checkpoints
+  std::uint64_t checkpoint_ns = 0;    ///< wall time spent checkpointing
+  double recovery_seconds = 0;        ///< load+seek cost of a resume, else 0
   double elapsed_seconds = 0;         ///< wall time (Run() start to snapshot)
 
   /// Source-to-sink throughput; 0 before any time elapses.
@@ -45,6 +49,13 @@ struct IngestSnapshot {
     return messages_emitted > 0 ? static_cast<double>(tokenize_ns) / 1e3 /
                                       static_cast<double>(messages_emitted)
                                 : 0.0;
+  }
+  /// Mean cost of one checkpoint, in milliseconds (the durability tax the
+  /// operator trades against recovery-point age — docs/operations.md).
+  double CheckpointMillis() const {
+    return checkpoints > 0 ? static_cast<double>(checkpoint_ns) / 1e6 /
+                                 static_cast<double>(checkpoints)
+                           : 0.0;
   }
 
   /// One-line human rendering.
@@ -66,6 +77,19 @@ class IngestMetrics {
   void AddTokens(std::uint64_t n) { Add(tokens_, n); }
   void AddKeywords(std::uint64_t n) { Add(keywords_, n); }
   void AddTokenizeNs(std::uint64_t n) { Add(tokenize_ns_, n); }
+
+  /// One checkpoint written: its size and the wall time it cost.
+  void AddCheckpoint(std::uint64_t bytes, std::uint64_t ns) {
+    Add(checkpoints_, 1);
+    Add(checkpoint_bytes_, bytes);
+    Add(checkpoint_ns_, ns);
+  }
+
+  /// Recovery cost (load + delta replay + source seek) of the resume that
+  /// preceded this run. Survives Reset() — it describes how the run began.
+  void SetRecoveryNs(std::uint64_t ns) {
+    recovery_ns_.store(ns, std::memory_order_relaxed);
+  }
 
   /// Raises the peak staging-queue depth watermark to at least `depth`.
   void ObserveQueueDepth(std::uint64_t depth) {
@@ -98,6 +122,10 @@ class IngestMetrics {
   std::atomic<std::uint64_t> keywords_{0};
   std::atomic<std::uint64_t> tokenize_ns_{0};
   std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> checkpoint_bytes_{0};
+  std::atomic<std::uint64_t> checkpoint_ns_{0};
+  std::atomic<std::uint64_t> recovery_ns_{0};
   std::atomic<std::int64_t> start_ns_{0};
 };
 

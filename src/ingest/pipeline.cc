@@ -13,9 +13,12 @@ namespace scprt::ingest {
 
 namespace {
 
-// A record in flight from driver to worker.
+// A record in flight from driver to worker. The source cursor rides along
+// so the driver knows, at collect time, how far the source had been
+// consumed when this record was read (checkpoint fence bookkeeping).
 struct WorkItem {
   RawRecord record;
+  SourcePosition position;
 };
 
 // A record on its way back: resolved tokens plus passthrough fields.
@@ -23,6 +26,7 @@ struct DoneItem {
   UserId user = 0;
   std::int32_t event_id = stream::kBackground;
   std::vector<ResolvedToken> tokens;
+  SourcePosition position;
 };
 
 }  // namespace
@@ -94,7 +98,8 @@ IngestPipeline::~IngestPipeline() {
 
 std::size_t IngestPipeline::workers() const { return workers_.size(); }
 
-IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
+IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink,
+                                   const RunOptions& options) {
   metrics_.Reset();  // each Run's snapshot describes that run alone
   sink.BindMetrics(&metrics_);
   const std::size_t num_workers = workers_.size();
@@ -104,6 +109,9 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
   bool source_done = false;
   bool have_pending = false;
   RawRecord pending;
+  SourcePosition pending_position;
+  last_collected_position_ = source.Position();
+  suppress_shedding_ = options.suppress_shedding;
 
   // Collects every ready record in round-robin order; returns the number
   // delivered. Interning happens here — single thread, stream order.
@@ -114,7 +122,7 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
            workers_[collect_seq % num_workers]->out.TryPop(done)) {
       stream::Message message;
       message.user = done.user;
-      message.seq = collect_seq;
+      message.seq = options.first_seq + collect_seq;
       message.event_id = done.event_id;
       message.keywords.reserve(done.tokens.size());
       for (ResolvedToken& token : done.tokens) {
@@ -129,6 +137,10 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
         }
       }
       metrics_.AddKeywords(message.keywords.size());
+      // Publish this record's cursor before delivery: a checkpoint hook
+      // inside sink.Push sees exactly the position of the record that
+      // closed the quantum.
+      last_collected_position_ = done.position;
       sink.Push(std::move(message));
       metrics_.AddMessagesEmitted(1);
       ++collect_seq;
@@ -143,6 +155,7 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
       const std::uint64_t malformed_before = source.malformed_count();
       if (source.Next(pending)) {
         have_pending = true;
+        pending_position = source.Position();
         metrics_.AddRecordsRead(1);
       } else {
         source_done = true;
@@ -158,9 +171,14 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink) {
     if (have_pending) {
       Worker& target = *workers_[dispatch_seq % num_workers];
       const bool queue_full = target.in.size() >= target.in.capacity();
-      switch (admission_.Decide(pending.user, queue_full)) {
+      const Admission verdict =
+          suppress_shedding_
+              ? (queue_full ? Admission::kRetry : Admission::kAdmit)
+              : admission_.Decide(pending.user, queue_full);
+      switch (verdict) {
         case Admission::kAdmit: {
-          target.in.TryPush(WorkItem{std::move(pending)});  // not full: fits
+          target.in.TryPush(
+              WorkItem{std::move(pending), pending_position});  // fits
           target.signal.fetch_add(1, std::memory_order_release);
           target.signal.notify_one();
           metrics_.AddAdmitted(1);
@@ -202,6 +220,7 @@ void IngestPipeline::WorkerLoop(std::stop_token stop, Worker& worker) {
       DoneItem done;
       done.user = item.record.user;
       done.event_id = item.record.event_id;
+      done.position = item.position;
       if (item.record.pretokenized) {
         done.tokens.reserve(item.record.keywords.size());
         for (const KeywordId id : item.record.keywords) {

@@ -77,6 +77,22 @@ std::vector<ResolvedToken> TokenizeAndResolve(
     const text::ConcurrentKeywordDictionary& dictionary,
     std::uint64_t* raw_tokens = nullptr);
 
+/// Per-Run tuning (checkpoint resume continues a prior run's stream).
+struct RunOptions {
+  /// Sequence number of the first collected message — a resumed run
+  /// continues the pre-crash numbering so replayed quanta are bit-identical
+  /// to the uninterrupted stream's.
+  std::uint64_t first_seq = 0;
+  /// Starts the Run with every admission decision forced to kBlock
+  /// semantics (cleared mid-run via set_suppress_shedding). Resume
+  /// replays the tail between the checkpoint's source cursor and the
+  /// crash point; re-deciding a shed-capable policy there could drop
+  /// records the pre-crash run had admitted, so the resume runbook
+  /// (docs/operations.md) replays losslessly and the durable session
+  /// restores the configured policy at its first post-resume checkpoint.
+  bool suppress_shedding = false;
+};
+
 /// The pipeline. Construct once, Run() to exhaustion (Run blocks and may
 /// be called again with a new source; the dictionary keeps growing).
 class IngestPipeline {
@@ -94,10 +110,30 @@ class IngestPipeline {
   /// Pumps `source` to exhaustion into `sink`, then calls sink.Finish().
   /// Blocks; the calling thread is the driver. Returns the final metrics
   /// snapshot of this run.
-  IngestSnapshot Run(MessageSource& source, MessageSink& sink);
+  IngestSnapshot Run(MessageSource& source, MessageSink& sink,
+                     const RunOptions& options = {});
 
   /// Live counters (poll from any thread while Run is in flight).
   const IngestMetrics& metrics() const { return metrics_; }
+  /// Writable counters (the durable session stamps checkpoint/recovery
+  /// costs into the same snapshot the frontend counters land in).
+  IngestMetrics& metrics() { return metrics_; }
+
+  /// Source cursor of the last record delivered to the sink. Valid on the
+  /// driver thread during Run (in particular inside sink callbacks — the
+  /// checkpoint hook reads it there: at a quantum boundary it is exactly
+  /// the cursor of the record that closed the quantum, because dispatch,
+  /// collect and sink delivery all happen on the driver thread).
+  const SourcePosition& last_collected_position() const {
+    return last_collected_position_;
+  }
+
+  /// Flips the shedding override mid-run. Driver-thread only — callable
+  /// from inside sink callbacks (the durable session ends its resume
+  /// suppression window here once the first post-resume checkpoint lands).
+  void set_suppress_shedding(bool suppress) {
+    suppress_shedding_ = suppress;
+  }
 
   /// Worker threads actually running.
   std::size_t workers() const;
@@ -113,6 +149,8 @@ class IngestPipeline {
   text::ConcurrentKeywordDictionary* dictionary_;
   AdmissionController admission_;
   IngestMetrics metrics_;
+  SourcePosition last_collected_position_;
+  bool suppress_shedding_ = false;  // driver thread only
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -34,6 +34,38 @@ bool ParseField(std::string_view field, Int& out) {
   return ec == std::errc() && ptr == end;
 }
 
+// tellg() that tolerates a set eofbit (the last line of a file without a
+// trailing newline leaves getline at EOF while the record is still valid).
+// Returns -1 for genuinely non-seekable streams (stdin, pipes).
+std::streamoff TellAfterRecord(std::istream& in) {
+  const bool was_eof = in.eof();
+  if (was_eof) in.clear(in.rdstate() & ~std::ios::eofbit);
+  const std::streamoff pos = in.tellg();
+  if (was_eof) in.setstate(std::ios::eofbit);
+  return pos;
+}
+
+void AdvancePosition(std::istream& in, SourcePosition& position) {
+  ++position.record_index;
+  const std::streamoff offset = TellAfterRecord(in);
+  position.byte_offset =
+      offset >= 0 ? static_cast<std::uint64_t>(offset) : 0;
+}
+
+bool StreamSeekable(std::istream* in) {
+  return in != nullptr && TellAfterRecord(*in) >= 0;
+}
+
+bool SeekStream(std::istream* in, const SourcePosition& position,
+                SourcePosition& tracked) {
+  if (in == nullptr) return false;
+  in->clear();
+  in->seekg(static_cast<std::streamoff>(position.byte_offset));
+  if (!*in) return false;
+  tracked = position;
+  return true;
+}
+
 }  // namespace
 
 JsonlSource::JsonlSource(const std::string& path) {
@@ -55,9 +87,16 @@ bool JsonlSource::Next(RawRecord& out) {
     out.user = record.user;
     out.event_id = record.event_id;
     out.text = std::move(record.text);
+    AdvancePosition(*in_, position_);
     return true;
   }
   return false;
+}
+
+bool JsonlSource::seekable() const { return StreamSeekable(in_); }
+
+bool JsonlSource::Seek(const SourcePosition& position) {
+  return SeekStream(in_, position, position_);
 }
 
 TsvSource::TsvSource(const std::string& path) {
@@ -65,6 +104,12 @@ TsvSource::TsvSource(const std::string& path) {
   if (!*file) return;
   in_ = file.get();
   owned_ = std::move(file);
+}
+
+bool TsvSource::seekable() const { return StreamSeekable(in_); }
+
+bool TsvSource::Seek(const SourcePosition& position) {
+  return SeekStream(in_, position, position_);
 }
 
 bool TsvSource::Next(RawRecord& out) {
@@ -102,6 +147,7 @@ bool TsvSource::Next(RawRecord& out) {
     out.user = user;
     out.event_id = event_id;
     out.text.assign(rest);
+    AdvancePosition(*in_, position_);
     return true;
   }
   return false;
@@ -118,8 +164,20 @@ bool TraceSource::Next(RawRecord& out) {
   return true;
 }
 
+bool TraceSource::Seek(const SourcePosition& position) {
+  if (position.record_index > messages_->size()) return false;
+  next_ = position.record_index;
+  return true;
+}
+
 GeneratorSource::GeneratorSource(const stream::SyntheticConfig& config)
     : trace_(stream::GenerateSyntheticTrace(config)) {}
+
+bool GeneratorSource::Seek(const SourcePosition& position) {
+  if (position.record_index > trace_.messages.size()) return false;
+  next_ = position.record_index;
+  return true;
+}
 
 bool GeneratorSource::Next(RawRecord& out) {
   if (next_ >= trace_.messages.size()) return false;

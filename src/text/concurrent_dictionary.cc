@@ -28,4 +28,16 @@ std::size_t ConcurrentKeywordDictionary::size() const {
   return dictionary_.size();
 }
 
+void ConcurrentKeywordDictionary::SaveState(BinaryWriter& out,
+                                            KeywordId from_id) const {
+  std::shared_lock lock(mutex_);
+  dictionary_.SaveState(out, from_id);
+}
+
+bool ConcurrentKeywordDictionary::RestoreState(BinaryReader& in,
+                                               KeywordId from_id) {
+  std::unique_lock lock(mutex_);
+  return dictionary_.RestoreState(in, from_id);
+}
+
 }  // namespace scprt::text

@@ -59,6 +59,20 @@ class ConcurrentKeywordDictionary {
   /// other threads TryLookup.
   KeywordId Intern(std::string_view keyword);
 
+  /// Serializes the entries with id >= from_id
+  /// (KeywordDictionary::SaveState) under the shared lock — safe while
+  /// workers TryLookup; the single writer must not be interning (the
+  /// ingest checkpoint fence guarantees that: saves happen on the
+  /// interning thread itself, at quantum boundaries).
+  void SaveState(BinaryWriter& out, KeywordId from_id = 0) const;
+
+  /// Restores a SaveState(from_id) blob; the dictionary's size must equal
+  /// from_id (empty for a full blob — checkpoint resume restores the full
+  /// snapshot's blob first, then appends the delta's tail). Returns false
+  /// on malformed input or a size mismatch. Must not run concurrently
+  /// with any other member.
+  bool RestoreState(BinaryReader& in, KeywordId from_id = 0);
+
   /// Number of interned keywords (exact only when no Intern is in flight).
   std::size_t size() const;
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/types.h"
 
 namespace scprt::text {
@@ -45,6 +46,20 @@ class KeywordDictionary {
 
   /// Number of interned keywords; ids are [0, size).
   std::size_t size() const { return spellings_.size(); }
+
+  /// Serializes the entries (spelling + noun flag) with id >= `from_id`,
+  /// in id order — the IngestState dictionary blob of the checkpoint
+  /// format (docs/formats.md). Ids are implicit: entry i of the blob is
+  /// keyword from_id + i. A full snapshot saves from 0; a delta saves
+  /// only the tail interned since its base (ids are append-only, so the
+  /// base's prefix never changes).
+  void SaveState(BinaryWriter& out, KeywordId from_id = 0) const;
+
+  /// Restores a SaveState(from_id) blob: this dictionary's size must be
+  /// exactly `from_id` (empty for a full blob), and the entries append in
+  /// id order. Returns false on malformed input or a size mismatch; the
+  /// dictionary is unchanged then.
+  bool RestoreState(BinaryReader& in, KeywordId from_id = 0);
 
  private:
   std::unordered_map<std::string, KeywordId> index_;

@@ -98,19 +98,28 @@ TEST(CheckpointFuzzTest, EveryTruncationIsRejected) {
 TEST(CheckpointFuzzTest, EverySingleBitFlipIsRejected) {
   const std::string& bytes = SharedFixture().full_bytes;
   // Dense sweep over the frame header and the payload head, strided sweep
-  // over the rest; CRC-32 detects any single-bit error.
+  // over the rest; CRC-32 detects any single-bit error. Offset 8 is the
+  // version field's low byte: flipping bit 0 turns version 3 into version
+  // 2, which is *accepted by design* (PR 2-era compatibility — the
+  // payload without an IngestState section is identical in both), so that
+  // one offset is asserted separately below.
   std::vector<std::size_t> offsets;
   for (std::size_t i = 0; i < 256 && i < bytes.size(); ++i) {
     offsets.push_back(i);
   }
   for (std::size_t i = 256; i < bytes.size(); i += 97) offsets.push_back(i);
   for (std::size_t offset : offsets) {
+    if (offset == 8) continue;
     std::string corrupt = bytes;
     corrupt[offset] = static_cast<char>(
         static_cast<unsigned char>(corrupt[offset]) ^ (1u << (offset % 8)));
     EXPECT_EQ(LoadBytes(corrupt), nullptr)
         << "bit flip at byte " << offset << " survived";
   }
+  std::string as_v2 = bytes;
+  as_v2[8] = static_cast<char>(2);
+  EXPECT_NE(LoadBytes(as_v2), nullptr)
+      << "version 2 (PR 2-era) snapshot must still load";
 }
 
 TEST(CheckpointFuzzTest, VersionAndKindSkewAreRejected) {
@@ -293,6 +302,256 @@ TEST(CheckpointFuzzTest, CorruptDeltaLeavesDetectorUsable) {
   // The pristine delta still applies after all the failed attempts.
   std::stringstream in(f.delta_bytes);
   EXPECT_TRUE(detect::ApplyDeltaCheckpoint(*detector, in, f.base_id));
+}
+
+// ---- IngestState trailing section (format version 3) -------------------
+//
+// The section rides inside the CRC-protected payload, so random damage is
+// already covered by the sweeps above; the interesting adversary forges a
+// frame with a *valid* outer CRC around a hostile section, attacking the
+// section's own magic/version/length/CRC fields.
+
+// A full snapshot carrying a real IngestState.
+std::string IngestSnapshotBytes() {
+  const Fixture& f = SharedFixture();
+  detect::EventDetector detector(f.config, &f.trace.dictionary);
+  const std::vector<stream::Quantum> quanta =
+      stream::SplitIntoQuanta(f.trace.messages, f.config.quantum_size);
+  for (std::size_t q = 0; q < 10; ++q) detector.ProcessQuantum(quanta[q]);
+
+  sio::IngestState state;
+  BinaryWriter dictionary_blob;
+  f.trace.dictionary.SaveState(dictionary_blob);
+  state.dictionary_state = dictionary_blob.TakeData();
+  state.admission_policy = 2;
+  state.admission_seed = 0xFEED;
+  state.sample_keep_fraction = 0.25;
+  state.cursor_record = 1'000;
+  state.cursor_byte = 123'456;
+  state.next_seq = 1'000;
+  state.quanta_cut = 10;
+  detect::CheckpointExtras extras;
+  extras.ingest = &state;
+  std::stringstream out;
+  EXPECT_TRUE(detect::SaveCheckpoint(detector, out, nullptr, extras));
+  return out.str();
+}
+
+TEST(CheckpointFuzzTest, IngestSectionRoundTripsAndRejectsDamage) {
+  const std::string bytes = IngestSnapshotBytes();
+  {
+    std::stringstream in(bytes);
+    sio::IngestState state;
+    bool present = false;
+    auto detector = detect::LoadCheckpoint(
+        in, &SharedFixture().trace.dictionary, nullptr, nullptr, &state,
+        &present);
+    ASSERT_NE(detector, nullptr);
+    ASSERT_TRUE(present);
+    EXPECT_EQ(state.admission_seed, 0xFEEDu);
+    EXPECT_EQ(state.cursor_record, 1'000u);
+    EXPECT_EQ(state.cursor_byte, 123'456u);
+    text::KeywordDictionary dictionary;
+    BinaryReader blob(state.dictionary_state);
+    EXPECT_TRUE(dictionary.RestoreState(blob));
+    EXPECT_EQ(dictionary.size(), SharedFixture().trace.dictionary.size());
+  }
+  // Truncations and bit flips across the section (it sits at the payload
+  // tail) — the outer CRC must reject every one.
+  for (std::size_t back = 1; back < 192 && back < bytes.size(); back += 7) {
+    EXPECT_EQ(LoadBytes(bytes.substr(0, bytes.size() - back)), nullptr);
+  }
+  for (std::size_t back = 1; back < 192 && back < bytes.size(); back += 5) {
+    std::string corrupt = bytes;
+    const std::size_t offset = bytes.size() - back;
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^ (1u << (back % 8)));
+    EXPECT_EQ(LoadBytes(corrupt), nullptr);
+  }
+}
+
+TEST(CheckpointFuzzTest, ForgedIngestSectionFieldsAreRejected) {
+  // Hostile sections behind a *valid* frame CRC: the section parser's own
+  // framing (magic, version, length, CRC) is the only defense.
+  detect::EventDetector reference(SharedFixture().config,
+                                  &SharedFixture().trace.dictionary);
+  BinaryWriter base;
+  sio::WriteConfig(base, SharedFixture().config);
+  reference.SaveState(base);
+
+  const auto forge = [&](const std::function<void(BinaryWriter&)>& section)
+      -> std::string {
+    BinaryWriter payload;
+    payload.Bytes(base.data().data(), base.size());
+    section(payload);
+    std::stringstream out;
+    EXPECT_TRUE(
+        sio::WriteFrame(out, sio::FrameKind::kFull, payload.data()));
+    return out.str();
+  };
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const char* what) {
+    std::stringstream in(bytes);
+    sio::LoadError error = sio::LoadError::kNone;
+    EXPECT_EQ(detect::LoadCheckpoint(in, &SharedFixture().trace.dictionary,
+                                     nullptr, &error),
+              nullptr)
+        << what;
+    EXPECT_NE(error, sio::LoadError::kNone) << what;
+  };
+
+  // A minimal valid section body, reused by several forgeries.
+  BinaryWriter body;
+  body.U64(0);        // dictionary base
+  body.U64(0);        // empty dictionary blob
+  body.U8(0);         // policy
+  body.U64(0);        // seed
+  body.F64(0.5);      // fraction
+  for (int i = 0; i < 6; ++i) body.U64(0);  // cursor + counters
+
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    w.U32(0xBAADF00D);  // wrong section magic
+                    w.U32(1);
+                    w.U64(body.size());
+                    w.U32(Crc32(body.data()));
+                    w.Bytes(body.data().data(), body.size());
+                  }),
+                  "bad section magic");
+  {
+    std::stringstream in(forge([&](BinaryWriter& w) {
+      w.U32(0x53474E49);  // "INGS"
+      w.U32(99);          // future section version
+      w.U64(body.size());
+      w.U32(Crc32(body.data()));
+      w.Bytes(body.data().data(), body.size());
+    }));
+    sio::LoadError error = sio::LoadError::kNone;
+    EXPECT_EQ(detect::LoadCheckpoint(in, &SharedFixture().trace.dictionary,
+                                     nullptr, &error),
+              nullptr);
+    EXPECT_EQ(error, sio::LoadError::kVersionSkew)
+        << "future section version must be typed skew";
+  }
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    w.U32(0x53474E49);
+                    w.U32(1);
+                    w.U64(0xFFFF'FFFF'FFFFull);  // forged length
+                    w.U32(Crc32(body.data()));
+                    w.Bytes(body.data().data(), body.size());
+                  }),
+                  "forged section length");
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    w.U32(0x53474E49);
+                    w.U32(1);
+                    w.U64(body.size());
+                    w.U32(Crc32(body.data()) ^ 1);  // wrong section CRC
+                    w.Bytes(body.data().data(), body.size());
+                  }),
+                  "section CRC mismatch");
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    // Giant dictionary-blob length inside a section whose
+                    // framing is otherwise valid.
+                    BinaryWriter hostile;
+                    hostile.U64(0);  // dictionary base
+                    hostile.U64(0xFFFF'FFFF'FFFFull);
+                    w.U32(0x53474E49);
+                    w.U32(1);
+                    w.U64(hostile.size());
+                    w.U32(Crc32(hostile.data()));
+                    w.Bytes(hostile.data().data(), hostile.size());
+                  }),
+                  "forged dictionary blob length");
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    // Out-of-range keep fraction (feeds a controller
+                    // precondition on resume).
+                    BinaryWriter hostile;
+                    hostile.U64(0);  // dictionary base
+                    hostile.U64(0);  // empty dictionary blob
+                    hostile.U8(0);
+                    hostile.U64(0);
+                    hostile.F64(7.5);
+                    for (int i = 0; i < 6; ++i) hostile.U64(0);
+                    w.U32(0x53474E49);
+                    w.U32(1);
+                    w.U64(hostile.size());
+                    w.U32(Crc32(hostile.data()));
+                    w.Bytes(hostile.data().data(), hostile.size());
+                  }),
+                  "hostile keep fraction");
+  expect_rejected(forge([&](BinaryWriter& w) {
+                    w.U32(0x53474E49);
+                    w.U32(1);
+                    w.U64(body.size());
+                    w.U32(Crc32(body.data()));
+                    w.Bytes(body.data().data(), body.size());
+                    w.U8(0);  // trailing garbage after a valid section
+                  }),
+                  "trailing garbage");
+  // Random garbage where the section should be.
+  Rng rng(0x1265);
+  for (int round = 0; round < 100; ++round) {
+    std::string garbage(1 + rng.UniformInt(512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformInt(256));
+    expect_rejected(forge([&](BinaryWriter& w) {
+                      w.Bytes(garbage.data(), garbage.size());
+                    }),
+                    "random section garbage");
+  }
+}
+
+TEST(CheckpointFuzzTest, DeltaWithIngestSectionIsCoveredByItsCrc) {
+  const Fixture& f = SharedFixture();
+  detect::EventDetector detector(f.config, &f.trace.dictionary);
+  detect::CheckpointManager manager;
+  const std::vector<stream::Quantum> quanta =
+      stream::SplitIntoQuanta(f.trace.messages, f.config.quantum_size);
+  std::stringstream full, delta;
+  for (std::size_t q = 0; q < 12; ++q) {
+    detector.ProcessQuantum(quanta[q]);
+    manager.Record(quanta[q]);
+    if (q == 8) EXPECT_TRUE(manager.SaveFull(detector, full));
+  }
+  sio::IngestState state;
+  state.next_seq = 1'200;
+  detect::CheckpointExtras extras;
+  extras.ingest = &state;
+  EXPECT_TRUE(manager.SaveDelta(detector, delta, extras));
+  const std::string delta_bytes = delta.str();
+
+  const auto load_full = [&] {
+    std::stringstream in(full.str());
+    return detect::LoadCheckpoint(in, &f.trace.dictionary);
+  };
+  {  // The pristine delta applies and surfaces its IngestState.
+    auto restored = load_full();
+    ASSERT_NE(restored, nullptr);
+    std::stringstream in(delta_bytes);
+    sio::IngestState out_state;
+    bool present = false;
+    ASSERT_TRUE(detect::ApplyDeltaCheckpoint(
+        *restored, in, manager.base_id(), nullptr, &out_state, &present));
+    EXPECT_TRUE(present);
+    EXPECT_EQ(out_state.next_seq, 1'200u);
+  }
+  // Any single-bit flip across the delta (section included) is rejected
+  // and leaves the detector untouched.
+  Rng rng(0xD317A);
+  auto restored = load_full();
+  ASSERT_NE(restored, nullptr);
+  const QuantumIndex clock_before = restored->next_quantum_index();
+  for (int round = 0; round < 96; ++round) {
+    std::string corrupt = delta_bytes;
+    const std::size_t offset = rng.UniformInt(corrupt.size());
+    // Offset 8 is the version byte, where 3 -> 2 is legal by design.
+    if (offset == 8) continue;
+    corrupt[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[offset]) ^
+        (1u << rng.UniformInt(8)));
+    std::stringstream in(corrupt);
+    EXPECT_FALSE(
+        detect::ApplyDeltaCheckpoint(*restored, in, manager.base_id()));
+    EXPECT_EQ(restored->next_quantum_index(), clock_before);
+  }
 }
 
 TEST(CheckpointFuzzTest, EngineLoaderRejectsCorruptInput) {
