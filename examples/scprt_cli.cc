@@ -14,16 +14,23 @@
 //                 [--sample-keep F] [--seed N] [--queue N] [--delta N]
 //                 [--gamma F] [--theta N] [--w N] [--top N]
 //                 [--synonyms FILE] [--metrics-json FILE]
-//                 [--checkpoint-dir DIR] [--resume] [--ckpt-quanta K]
-//                 [--ckpt-seconds T] [--ckpt-full-every N]
+//                 [--durability-dir DIR] [--durability-backend snapshot|wal]
+//                 [--durability-fsync none|interval|commit]
+//                 [--durability-cadence K] [--durability-seconds T]
+//                 [--durability-full-every N] [--resume]
 //       Stream raw text (JSON-lines or TSV; "-" reads stdin) through the
 //       parallel tokenize/intern frontend into the sharded detector and
 //       print events as they are discovered, plus final ingest metrics.
-//       --checkpoint-dir makes the deployment durable: it snapshots into
-//       DIR every K quanta (and/or every T seconds) at quantum
-//       boundaries, and --resume continues a previous run from the last
-//       checkpoint + source cursor. See docs/operations.md for the
-//       runbook and docs/cli.md for the full flag reference.
+//       --durability-dir makes the deployment durable: the snapshot
+//       backend checkpoints into DIR every K quanta (and/or every T
+//       seconds) at quantum boundaries; the WAL backend commits every
+//       quantum to a write-ahead log with group-commit fsync. --resume
+//       continues a previous run from the newest durable generation +
+//       source cursor. The old --checkpoint-dir / --ckpt-* spellings
+//       still work (with a deprecation warning). Exit code 3 means the
+//       stream was processed but some durability writes failed. See
+//       docs/operations.md for the runbook and docs/cli.md for the full
+//       flag reference.
 //
 //   scprt_cli export <in.trace> <out> [--format jsonl|tsv]
 //       Render a saved trace as raw text in the ingest input format.
@@ -43,7 +50,7 @@
 #include "detect/detector.h"
 #include "detect/postprocess.h"
 #include "detect/report.h"
-#include "detect/snapshot_io.h"
+#include "durability/backend.h"
 #include "engine/parallel_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
@@ -78,8 +85,11 @@ int Usage() {
                "[--workers N] [--threads N] [--policy block|drop|sample] "
                "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
                "[--gamma F] [--theta N] [--w N] [--top N] [--synonyms FILE] "
-               "[--metrics-json FILE] [--checkpoint-dir DIR] [--resume] "
-               "[--ckpt-quanta K] [--ckpt-seconds T] [--ckpt-full-every N]\n"
+               "[--metrics-json FILE] [--durability-dir DIR] "
+               "[--durability-backend snapshot|wal] "
+               "[--durability-fsync none|interval|commit] "
+               "[--durability-cadence K] [--durability-seconds T] "
+               "[--durability-full-every N] [--resume]\n"
                "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
                "  scprt_cli info <in.trace>\n");
   return 2;
@@ -323,23 +333,57 @@ int CmdIngest(const Args& args) {
   engine_config.detector = DetectorConfigFromArgs(args);
   engine_config.threads = std::stoul(args.Get("threads", "1"));
 
-  // --checkpoint-dir switches to the durable session: snapshots on
-  // cadence, and with --resume it continues from the last checkpoint.
-  if (args.Has("checkpoint-dir")) {
+  // --durability-dir switches to the durable session: the chosen backend
+  // commits at quantum boundaries, and with --resume the run continues
+  // from the newest durable generation. The pre-WAL spellings
+  // (--checkpoint-dir / --ckpt-*) keep working with a warning; the new
+  // spelling wins when both are given.
+  auto aliased = [&](const char* new_name, const char* old_name,
+                     const char* dflt) -> std::string {
+    if (args.Has(new_name)) return args.Get(new_name, dflt);
+    if (args.Has(old_name)) {
+      std::fprintf(stderr, "warning: --%s is deprecated; use --%s\n",
+                   old_name, new_name);
+      return args.Get(old_name, dflt);
+    }
+    return dflt;
+  };
+  if (args.Has("durability-dir") || args.Has("checkpoint-dir")) {
     ingest::DurableConfig durable;
-    durable.directory = args.Get("checkpoint-dir", "");
-    durable.checkpoint_quanta = std::stoul(args.Get("ckpt-quanta", "16"));
-    durable.checkpoint_seconds = std::stod(args.Get("ckpt-seconds", "0"));
-    durable.full_interval = std::stoul(args.Get("ckpt-full-every", "4"));
+    durable.directory = aliased("durability-dir", "checkpoint-dir", "");
+    durable.checkpoint_quanta =
+        std::stoul(aliased("durability-cadence", "ckpt-quanta", "16"));
+    durable.checkpoint_seconds =
+        std::stod(aliased("durability-seconds", "ckpt-seconds", "0"));
+    durable.full_interval =
+        std::stoul(aliased("durability-full-every", "ckpt-full-every", "4"));
+    const std::string backend_name =
+        args.Get("durability-backend", "snapshot");
+    if (!durability::ParseBackendKind(backend_name, durable.backend)) {
+      std::fprintf(stderr,
+                   "error: unknown --durability-backend %s (want snapshot "
+                   "or wal)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    const std::string fsync_name = args.Get("durability-fsync", "none");
+    if (!durability::ParseFsyncLevel(fsync_name, durable.fsync)) {
+      std::fprintf(stderr,
+                   "error: unknown --durability-fsync %s (want none, "
+                   "interval or commit)\n",
+                   fsync_name.c_str());
+      return 2;
+    }
     if (durable.full_interval < 1) {
-      std::fprintf(stderr, "error: --ckpt-full-every must be >= 1\n");
+      std::fprintf(stderr, "error: --durability-full-every must be >= 1\n");
       return 2;
     }
     if (durable.checkpoint_quanta == 0 &&
         durable.checkpoint_seconds <= 0.0) {
       std::fprintf(stderr,
-                   "error: --ckpt-quanta 0 needs --ckpt-seconds > 0 (with "
-                   "both triggers off nothing would ever checkpoint)\n");
+                   "error: --durability-cadence 0 needs --durability-"
+                   "seconds > 0 (with both triggers off nothing would ever "
+                   "be committed)\n");
       return 2;
     }
     ingest::DurableIngest session(config, engine_config, durable);
@@ -370,12 +414,10 @@ int CmdIngest(const Args& args) {
           // damaged.
           std::fprintf(
               stderr, "error: cannot resume from %s: %s\n%s%s",
-              durable.directory.c_str(),
-              detect::snapshot_io::LoadErrorName(resume.error),
+              durable.directory.c_str(), resume.error.ToString().c_str(),
               resume.detail.empty() ? "" : resume.detail.c_str(),
               resume.detail.empty() ? "" : "\n");
-          if (resume.error ==
-              detect::snapshot_io::LoadError::kVersionSkew) {
+          if (resume.error.code == durability::ErrorCode::kVersionSkew) {
             std::fprintf(stderr,
                          "hint: checkpoints were written by a different "
                          "format version; restart without --resume and a "
@@ -413,11 +455,6 @@ int CmdIngest(const Args& args) {
                   snapshot->recovery_seconds,
                   static_cast<unsigned long long>(session.replayed_quanta()));
     }
-    if (session.checkpoint_failures() > 0) {
-      std::fprintf(stderr, "warning: %llu checkpoint writes failed\n",
-                   static_cast<unsigned long long>(
-                       session.checkpoint_failures()));
-    }
     std::printf("vocabulary: %zu keywords\n", session.dictionary().size());
     if (args.Has("metrics-json")) {
       std::ofstream out(args.Get("metrics-json", ""));
@@ -427,6 +464,16 @@ int CmdIngest(const Args& args) {
                      args.Get("metrics-json", "").c_str());
         return 1;
       }
+    }
+    if (session.checkpoint_failures() > 0) {
+      // The stream itself was processed; exit 3 flags that the recovery
+      // point is older than the output suggests.
+      std::fprintf(stderr,
+                   "warning: %llu durability commits failed (last: %s)\n",
+                   static_cast<unsigned long long>(
+                       session.checkpoint_failures()),
+                   session.last_error().ToString().c_str());
+      return 3;
     }
     return 0;
   }

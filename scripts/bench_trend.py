@@ -1,20 +1,43 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_ingest.json files and flag throughput regressions.
+"""Diff two bench JSON files and flag regressions.
 
 Usage: bench_trend.py PREVIOUS.json CURRENT.json [--threshold 0.10]
                       [--strict]
 
-Compares the per-(name, workers) msgs_per_sec series (core / frontend /
-e2e) and the headline core rate. A drop larger than --threshold emits a
-GitHub Actions ::warning:: annotation (or ::error:: and exit 1 with
---strict — shared-runner benchmarks are noisy, so the default only
-flags). Missing series are reported but never fatal: the matrix may
-legitimately change between runs.
+Two file shapes are understood:
+
+* BENCH_ingest.json ("runs" array): compares the per-(name, workers)
+  msgs_per_sec series and the headline core rate; higher is better, a
+  drop larger than --threshold flags.
+* metric dicts (BENCH_wal.json): nested objects of numeric leaves,
+  flattened to dotted paths (wal.stall_ms_mean, ...). These metrics are
+  costs — stalls, bytes, seconds — so lower is better and an *increase*
+  larger than --threshold flags. Boolean leaves and the "gate" object
+  are skipped (the emitting binary already enforces them).
+
+A regression emits a GitHub Actions ::warning:: annotation (or
+::error:: and exit 1 with --strict — shared-runner benchmarks are
+noisy, so the default only flags). Missing series are reported but
+never fatal: the matrix may legitimately change between runs.
 """
 
 import argparse
 import json
 import sys
+
+
+def flatten_metrics(node, prefix=""):
+    """Dotted-path numeric leaves of a nested dict, skipping gates."""
+    series = {}
+    for key, value in node.items():
+        if key == "gate":
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            series.update(flatten_metrics(value, path + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            series[path] = float(value)
+    return series
 
 
 def load_series(path):
@@ -24,6 +47,36 @@ def load_series(path):
     for run in data.get("runs", []):
         series[(run["name"], run["workers"])] = run["msgs_per_sec"]
     return data, series
+
+
+def diff_metric_dicts(prev_data, cur_data, args):
+    """Lower-is-better comparison of flattened numeric metrics."""
+    prev = flatten_metrics(prev_data)
+    cur = flatten_metrics(cur_data)
+    regressions = []
+    print(f"{'metric':<32}{'previous':>12}{'current':>12}{'delta':>9}")
+    for path in sorted(cur):
+        now = cur[path]
+        before = prev.get(path)
+        if before is None:
+            print(f"{path:<32}{'-':>12}{now:>12.4f}{'new':>9}")
+            continue
+        delta = (now - before) / before if before > 0 else 0.0
+        print(f"{path:<32}{before:>12.4f}{now:>12.4f}{delta:>8.1%}")
+        if delta > args.threshold:
+            regressions.append(
+                f"{path}: {before:.4f} -> {now:.4f} (+{delta:.1%})")
+    for path in sorted(set(prev) - set(cur)):
+        print(f"{path:<32}{prev[path]:>12.4f}{'-':>12}{'gone':>9}")
+
+    if regressions:
+        level = "error" if args.strict else "warning"
+        for r in regressions:
+            print(f"::{level}::bench metric regression vs previous run: {r}")
+        return 1 if args.strict else 0
+    print("bench_trend: no metric regressions over "
+          f"{args.threshold:.0%} threshold")
+    return 0
 
 
 def main():
@@ -43,6 +96,9 @@ def main():
         print(f"bench_trend: no usable previous data ({e}); skipping diff")
         return 0
     cur_data, cur = load_series(args.current)
+
+    if "runs" not in cur_data:
+        return diff_metric_dicts(prev_data, cur_data, args)
 
     regressions = []
     print(f"{'series':<16}{'workers':>8}{'previous':>12}{'current':>12}"

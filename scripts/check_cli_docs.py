@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CLI reference drift gate (stdlib only).
+
+docs/cli.md opens with a fenced code block that mirrors the usage text
+`scprt_cli` prints when run with no arguments. This script runs the
+built binary, captures that usage text, and fails if the block in the
+docs no longer matches it line for line — so a flag added or renamed in
+examples/scprt_cli.cc cannot land without regenerating the reference.
+
+Usage: check_cli_docs.py [--binary build/examples/scprt_cli]
+                         [--doc docs/cli.md] [--update]
+
+--update rewrites the docs block from the binary instead of failing.
+Exits 0 on match, 1 on drift (printing a unified diff), 2 on setup
+errors (missing binary / docs block not found).
+"""
+
+import argparse
+import difflib
+import pathlib
+import re
+import subprocess
+import sys
+
+# The first fenced block whose body starts with "usage:" is the
+# reference; everything else in the page is prose.
+BLOCK_RE = re.compile(r"```\n(usage:\n.*?)```", re.DOTALL)
+
+
+def binary_usage(binary):
+    # No arguments -> usage on stderr, exit code 2 by convention.
+    proc = subprocess.run([str(binary)], capture_output=True, text=True)
+    text = proc.stderr
+    if not text.startswith("usage:"):
+        print(f"::error::{binary} did not print usage text on stderr "
+              f"(got {text[:80]!r})")
+        sys.exit(2)
+    return text
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--binary", default="build/examples/scprt_cli")
+    parser.add_argument("--doc", default="docs/cli.md")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the docs block from the binary")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.binary)
+    doc = pathlib.Path(args.doc)
+    if not binary.exists():
+        print(f"::error::binary not found: {binary} (build first)")
+        return 2
+    if not doc.exists():
+        print(f"::error::doc not found: {doc}")
+        return 2
+
+    usage = binary_usage(binary)
+    page = doc.read_text(encoding="utf-8")
+    match = BLOCK_RE.search(page)
+    if match is None:
+        print(f"::error::{doc}: no ```-fenced usage block found")
+        return 2
+
+    documented = match.group(1)
+    if documented == usage:
+        print("check_cli_docs: docs/cli.md usage block matches the binary")
+        return 0
+
+    if args.update:
+        doc.write_text(page[:match.start(1)] + usage + page[match.end(1):],
+                       encoding="utf-8")
+        print(f"check_cli_docs: rewrote the usage block in {doc}")
+        return 0
+
+    diff = difflib.unified_diff(
+        documented.splitlines(keepends=True),
+        usage.splitlines(keepends=True),
+        fromfile=f"{doc} (documented)",
+        tofile=f"{binary} (actual)")
+    sys.stdout.writelines(diff)
+    print(f"::error::{doc} usage block drifted from the binary; "
+          "regenerate with scripts/check_cli_docs.py --update")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

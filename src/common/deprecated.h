@@ -1,0 +1,19 @@
+// Opt-in deprecation annotations.
+//
+// SCPRT_DEPRECATED(msg) expands to [[deprecated(msg)]] only when the
+// build defines SCPRT_WARN_DEPRECATED (e.g. -DSCPRT_WARN_DEPRECATED on a
+// migration audit build); by default it is a no-op so the tree and its
+// consumers keep building warning-clean while the old entry points remain
+// callable. The annotated functions keep working — the macro is a
+// signpost to the replacement surface, not a removal.
+
+#ifndef SCPRT_COMMON_DEPRECATED_H_
+#define SCPRT_COMMON_DEPRECATED_H_
+
+#if defined(SCPRT_WARN_DEPRECATED)
+#define SCPRT_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define SCPRT_DEPRECATED(msg)
+#endif
+
+#endif  // SCPRT_COMMON_DEPRECATED_H_

@@ -34,6 +34,15 @@
 // The sharded engine checkpoints through the same format — see
 // engine/parallel_detector.h; snapshots are interchangeable between the
 // serial detector and the engine at any thread count.
+//
+// DEPRECATION: the free functions below remain as thin compatibility
+// wrappers, but new code should go through the durability tier —
+// durability::Backend for scheduled persistence (snapshot or WAL), and
+// the typed one-shot surface in durability/backend.h
+// (durability::SaveSnapshot / LoadDetectorSnapshot / LoadEngineSnapshot /
+// SaveDeltaSnapshot / ApplyDeltaSnapshot) for direct saves, which report
+// durability::Error instead of bool + LoadError. Compile with
+// -DSCPRT_WARN_DEPRECATED to hear about remaining callers.
 
 #ifndef SCPRT_DETECT_CHECKPOINT_H_
 #define SCPRT_DETECT_CHECKPOINT_H_
@@ -44,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deprecated.h"
 #include "detect/detector.h"
 #include "detect/snapshot_io.h"
 
@@ -63,11 +73,13 @@ struct CheckpointExtras {
 /// Writes a full native snapshot of `detector` to `out`. `checkpoint_id`
 /// (optional out) receives the snapshot's id, which a later delta chains
 /// to. Returns false on stream failure.
+SCPRT_DEPRECATED("use durability::SaveSnapshot (durability/backend.h)")
 bool SaveCheckpoint(const EventDetector& detector, std::ostream& out,
                     std::uint64_t* checkpoint_id = nullptr,
                     const CheckpointExtras& extras = {});
 
 /// Saves to a file path.
+SCPRT_DEPRECATED("use durability::SaveSnapshot (durability/backend.h)")
 bool SaveCheckpointFile(const EventDetector& detector,
                         const std::string& path,
                         std::uint64_t* checkpoint_id = nullptr,
@@ -81,6 +93,7 @@ bool SaveCheckpointFile(const EventDetector& detector,
 /// `ingest`/`ingest_present` (optional outs) receive the IngestState
 /// trailing section when the snapshot carries one; a PR 2-era snapshot
 /// without it still restores the bare detector.
+SCPRT_DEPRECATED("use durability::LoadDetectorSnapshot (durability/backend.h)")
 std::unique_ptr<EventDetector> LoadCheckpoint(
     std::istream& in, const text::KeywordDictionary* dictionary,
     std::uint64_t* checkpoint_id = nullptr,
@@ -89,6 +102,7 @@ std::unique_ptr<EventDetector> LoadCheckpoint(
     bool* ingest_present = nullptr);
 
 /// Loads from a file path.
+SCPRT_DEPRECATED("use durability::LoadDetectorSnapshot (durability/backend.h)")
 std::unique_ptr<EventDetector> LoadCheckpointFile(
     const std::string& path, const text::KeywordDictionary* dictionary,
     std::uint64_t* checkpoint_id = nullptr,
@@ -102,6 +116,7 @@ std::unique_ptr<EventDetector> LoadCheckpointFile(
 /// CheckpointExtras). Returns false on stream failure. Serial detectors
 /// only — an engine's pending messages live in its outer quantizer, so
 /// engine deltas go through ParallelDetector::SaveDeltaCheckpoint.
+SCPRT_DEPRECATED("use durability::SaveDeltaSnapshot (durability/backend.h)")
 bool SaveDeltaCheckpoint(const EventDetector& detector,
                          std::uint64_t base_id,
                          const std::vector<stream::Quantum>& quanta_since_base,
@@ -115,6 +130,7 @@ bool SaveDeltaCheckpoint(const EventDetector& detector,
 /// with the reason in `error` (optional out) — a broken delta chain
 /// surfaces as kBaseMismatch rather than being swallowed into a generic
 /// failure. `ingest`/`ingest_present` mirror LoadCheckpoint's.
+SCPRT_DEPRECATED("use durability::ApplyDeltaSnapshot (durability/backend.h)")
 bool ApplyDeltaCheckpoint(EventDetector& detector, std::istream& in,
                           std::uint64_t expected_base_id,
                           snapshot_io::LoadError* error = nullptr,

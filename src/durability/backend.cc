@@ -1,0 +1,133 @@
+#include "durability/backend.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "durability/snapshot_backend.h"
+#include "durability/wal_backend.h"
+
+namespace scprt::durability {
+
+namespace sio = detect::snapshot_io;
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSnapshot:
+      return "snapshot";
+    case BackendKind::kWal:
+      return "wal";
+  }
+  return "unknown";
+}
+
+bool ParseBackendKind(std::string_view text, BackendKind& kind) {
+  if (text == "snapshot") {
+    kind = BackendKind::kSnapshot;
+    return true;
+  }
+  if (text == "wal") {
+    kind = BackendKind::kWal;
+    return true;
+  }
+  return false;
+}
+
+const char* FsyncLevelName(FsyncLevel level) {
+  switch (level) {
+    case FsyncLevel::kNone:
+      return "none";
+    case FsyncLevel::kInterval:
+      return "interval";
+    case FsyncLevel::kEveryCommit:
+      return "commit";
+  }
+  return "unknown";
+}
+
+bool ParseFsyncLevel(std::string_view text, FsyncLevel& level) {
+  if (text == "none") {
+    level = FsyncLevel::kNone;
+    return true;
+  }
+  if (text == "interval") {
+    level = FsyncLevel::kInterval;
+    return true;
+  }
+  if (text == "commit" || text == "every-commit") {
+    level = FsyncLevel::kEveryCommit;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Backend> MakeBackend(const BackendOptions& options) {
+  SCPRT_CHECK(!options.directory.empty());
+  SCPRT_CHECK(options.full_interval >= 1);
+  switch (options.kind) {
+    case BackendKind::kSnapshot:
+      return std::make_unique<SnapshotBackend>(options);
+    case BackendKind::kWal:
+      return std::make_unique<WalBackend>(options);
+  }
+  return nullptr;
+}
+
+Error SaveSnapshot(engine::ParallelDetector& engine, std::ostream& out,
+                   std::uint64_t* checkpoint_id,
+                   const detect::CheckpointExtras& extras) {
+  if (!engine.SaveCheckpoint(out, checkpoint_id, extras)) {
+    return MakeError(ErrorCode::kIo, "snapshot stream write failed");
+  }
+  return {};
+}
+
+std::unique_ptr<engine::ParallelDetector> LoadEngineSnapshot(
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::size_t threads, std::uint64_t* checkpoint_id, Error* error,
+    sio::IngestState* ingest, bool* ingest_present) {
+  sio::LoadError load_error = sio::LoadError::kNone;
+  auto engine = engine::ParallelDetector::LoadCheckpoint(
+      in, dictionary, threads, checkpoint_id, &load_error, ingest,
+      ingest_present);
+  if (engine == nullptr && error != nullptr) {
+    *error = Error::FromLoad(load_error);
+  }
+  return engine;
+}
+
+std::unique_ptr<detect::EventDetector> LoadDetectorSnapshot(
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id, Error* error, sio::IngestState* ingest,
+    bool* ingest_present) {
+  sio::LoadError load_error = sio::LoadError::kNone;
+  auto detector = detect::LoadCheckpoint(in, dictionary, checkpoint_id,
+                                         &load_error, ingest, ingest_present);
+  if (detector == nullptr && error != nullptr) {
+    *error = Error::FromLoad(load_error);
+  }
+  return detector;
+}
+
+Error SaveDeltaSnapshot(engine::ParallelDetector& engine,
+                        std::uint64_t base_id,
+                        const std::vector<stream::Quantum>& quanta,
+                        std::ostream& out,
+                        const detect::CheckpointExtras& extras) {
+  if (!engine.SaveDeltaCheckpoint(base_id, quanta, out, extras)) {
+    return MakeError(ErrorCode::kIo, "delta stream write failed");
+  }
+  return {};
+}
+
+Error ApplyDeltaSnapshot(engine::ParallelDetector& engine, std::istream& in,
+                         std::uint64_t expected_base_id,
+                         sio::IngestState* ingest, bool* ingest_present) {
+  sio::LoadError load_error = sio::LoadError::kNone;
+  if (!engine.ApplyDeltaCheckpoint(in, expected_base_id, &load_error, ingest,
+                                   ingest_present)) {
+    return Error::FromLoad(load_error);
+  }
+  return {};
+}
+
+}  // namespace scprt::durability

@@ -1,0 +1,230 @@
+// The durability tier's single entry point.
+//
+// A durability::Backend owns everything between "a quantum just closed"
+// and "state survives a crash": what gets written, when it is fsynced,
+// which files exist, how recovery rebuilds an engine. Two implementations:
+//
+//   * SnapshotBackend — the cadence full/delta checkpoint scheme the
+//     checkpoint-aware ingest path has always used (full-NNNNNN.ckpt /
+//     delta-NNNNNN.ckpt, tmp + rename, one fallback generation), now with
+//     typed errors and fsync levels.
+//   * WalBackend — the log-structured tier: every quantum appends one
+//     CRC-framed record to a write-ahead log (durability/log_format.h),
+//     full-snapshot segments are cut on the old full-checkpoint cadence,
+//     and a manifest + CURRENT pair names the generation in force.
+//     Commit stall is O(quantum), not O(state); recovery is newest valid
+//     manifest + log tail replay with torn-tail tolerance.
+//
+// The driver (ingest::DurableIngest) calls Commit() once per cut quantum
+// — under the engine's quiesce fence, on the driver thread — and the
+// backend decides whether that boundary persists anything. Both backends
+// restore to the same place: resume from a backend is bit-identical to a
+// never-restarted run at any worker and engine thread count
+// (tests/ingest_checkpoint_test.cc proves it for both).
+//
+// This header is also the typed replacement for the scattered save/load
+// free functions of detect/checkpoint.h and engine/parallel_detector.h:
+// the Save*/Load*/Apply* functions at the bottom wrap them behind
+// durability::Error. The old entry points remain as thin deprecated
+// wrappers (compile with -DSCPRT_WARN_DEPRECATED to hear about callers).
+
+#ifndef SCPRT_DURABILITY_BACKEND_H_
+#define SCPRT_DURABILITY_BACKEND_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "detect/checkpoint.h"
+#include "detect/snapshot_io.h"
+#include "durability/error.h"
+#include "engine/parallel_detector.h"
+#include "stream/quantizer.h"
+#include "text/concurrent_dictionary.h"
+
+namespace scprt::durability {
+
+/// Which durability scheme a deployment runs.
+enum class BackendKind : std::uint8_t {
+  kSnapshot = 0,
+  kWal = 1,
+};
+
+/// How aggressively commits are made power-loss durable. All levels keep
+/// process-crash durability (bytes reach the kernel at every commit).
+enum class FsyncLevel : std::uint8_t {
+  /// Never fsync; the OS flushes on its own schedule.
+  kNone = 0,
+  /// fsync on the checkpoint cadence (every `commit_quanta` commits or
+  /// `commit_seconds`, whichever first) — the group-commit middle ground.
+  kInterval = 1,
+  /// fsync every commit before acknowledging it.
+  kEveryCommit = 2,
+};
+
+/// Stable names for flags/JSON ("snapshot"/"wal", "none"/"interval"/
+/// "commit") and the matching parsers (false on unknown spellings).
+const char* BackendKindName(BackendKind kind);
+bool ParseBackendKind(std::string_view text, BackendKind& kind);
+const char* FsyncLevelName(FsyncLevel level);
+bool ParseFsyncLevel(std::string_view text, FsyncLevel& level);
+
+/// Placement and cadence, shared by both backends.
+struct BackendOptions {
+  /// Directory the durability files live in (created if missing).
+  std::string directory;
+  BackendKind kind = BackendKind::kSnapshot;
+  FsyncLevel fsync = FsyncLevel::kNone;
+  /// Checkpoint cadence in quanta: SnapshotBackend persists every
+  /// `commit_quanta` quanta; WalBackend persists every quantum and uses
+  /// this as the group-commit fsync interval. 0 disables the count
+  /// trigger (snapshot backend only; at least one trigger must be live).
+  std::size_t commit_quanta = 8;
+  /// Time trigger in seconds, evaluated at quantum boundaries (0 off).
+  double commit_seconds = 0.0;
+  /// Full-snapshot interval: every Nth snapshot-backend checkpoint is
+  /// full; the WAL backend cuts a segment every
+  /// `commit_quanta * full_interval` quanta.
+  std::size_t full_interval = 4;
+};
+
+/// Everything one quantum boundary hands the backend. The frontend fields
+/// of `state` (cursor, seq, counters, admission) are filled by the caller;
+/// the dictionary fields are left empty — the backend serializes the blob
+/// or tail its own format needs.
+struct CommitContext {
+  /// The quantum that just closed (already applied to the engine).
+  const stream::Quantum* quantum = nullptr;
+  /// The outermost accumulation point (the assembler's quantizer): clock
+  /// and pending partial quantum at this fence.
+  const stream::Quantizer* quantizer = nullptr;
+  /// The live vocabulary.
+  const text::ConcurrentKeywordDictionary* dictionary = nullptr;
+  /// Frontend state at this fence (dictionary fields ignored).
+  detect::snapshot_io::IngestState state;
+};
+
+/// What one Commit() did.
+struct CommitResult {
+  /// Failure of this boundary's persistence attempt (kNone when nothing
+  /// was due or everything landed). The stream keeps flowing either way;
+  /// the recovery point just ages until the next attempt succeeds.
+  Error error;
+  /// State at this fence became durable (a WAL record or checkpoint file
+  /// landed). False when the boundary was not a persistence point.
+  bool persisted = false;
+  /// This boundary produced a checkpoint-grade artifact (a snapshot file,
+  /// or a WAL segment + manifest cut).
+  bool checkpoint = false;
+  /// Bytes written and wall time stalled by this boundary.
+  std::uint64_t bytes = 0;
+  std::uint64_t stall_ns = 0;
+};
+
+struct RecoverOptions {
+  /// Engine worker threads for the restored detector (0 = hardware).
+  std::size_t engine_threads = 0;
+  /// The deployment's dictionary; must be empty (recovery installs the
+  /// persisted vocabulary into it).
+  text::ConcurrentKeywordDictionary* dictionary = nullptr;
+};
+
+/// What recovery found.
+struct RecoverResult {
+  enum class Outcome {
+    kFresh,      ///< nothing durable — start from scratch
+    kRecovered,  ///< engine + state restored
+    kFailed,     ///< durable files exist but none are recoverable
+  };
+  Outcome outcome = Outcome::kFresh;
+  /// Typed reason of the newest failing artifact when anything failed
+  /// (also set when an older generation rescued the recovery).
+  Error error;
+  /// Trail: which files loaded, which were skipped and why.
+  std::string detail;
+  /// The restored engine (null unless kRecovered). Its outer quantizer
+  /// holds the pending partial quantum and clock at the recovered fence.
+  std::unique_ptr<engine::ParallelDetector> engine;
+  /// Frontend state at the recovered fence (cursor, seq, counters,
+  /// admission; dictionary already installed into options.dictionary).
+  detect::snapshot_io::IngestState state;
+  /// Quanta replayed on top of the base snapshot (delta or WAL tail).
+  std::uint64_t replayed_quanta = 0;
+  /// Artifacts restored: the base full snapshot / segment, and the delta
+  /// file / WAL whose tail was replayed (empty when unused).
+  std::string base_path;
+  std::string tail_path;
+};
+
+/// One durability scheme. Not thread-safe — the ingest driver thread owns
+/// it, exactly as it owns the engine.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Recovers the newest durable generation. Call at most once, before
+  /// the first Commit. An empty directory is kFresh, not an error.
+  virtual RecoverResult Recover(const RecoverOptions& options) = 0;
+
+  /// One quantum boundary: persist per the backend's policy. `engine` is
+  /// quiesced by its own save path; `ctx.state`'s frontend fields
+  /// describe this fence.
+  virtual CommitResult Commit(engine::ParallelDetector& engine,
+                              const CommitContext& ctx) = 0;
+
+  /// fsync/fdatasync failures observed so far (commits may still have
+  /// landed; their power-loss durability is what failed). The small-fix
+  /// satellite: these used to be logged and dropped.
+  virtual std::uint64_t sync_failures() const = 0;
+};
+
+/// Builds the backend `options.kind` names. The directory is created if
+/// missing.
+std::unique_ptr<Backend> MakeBackend(const BackendOptions& options);
+
+// ---------------------------------------------------------------------------
+// The typed one-shot snapshot surface (the API-redesign seam): everything
+// the deprecated detect::/engine:: free functions did, behind Error.
+
+/// Writes a full native snapshot of `engine` (quiescing it) to `out`.
+Error SaveSnapshot(engine::ParallelDetector& engine, std::ostream& out,
+                   std::uint64_t* checkpoint_id = nullptr,
+                   const detect::CheckpointExtras& extras = {});
+
+/// Restores a sharded engine from a full snapshot.
+std::unique_ptr<engine::ParallelDetector> LoadEngineSnapshot(
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::size_t threads, std::uint64_t* checkpoint_id = nullptr,
+    Error* error = nullptr,
+    detect::snapshot_io::IngestState* ingest = nullptr,
+    bool* ingest_present = nullptr);
+
+/// Restores a serial detector from a full snapshot (same format — thread
+/// count is an engine property, not a snapshot property).
+std::unique_ptr<detect::EventDetector> LoadDetectorSnapshot(
+    std::istream& in, const text::KeywordDictionary* dictionary,
+    std::uint64_t* checkpoint_id = nullptr, Error* error = nullptr,
+    detect::snapshot_io::IngestState* ingest = nullptr,
+    bool* ingest_present = nullptr);
+
+/// Writes a delta snapshot of `engine` against the full snapshot
+/// identified by `base_id`.
+Error SaveDeltaSnapshot(engine::ParallelDetector& engine,
+                        std::uint64_t base_id,
+                        const std::vector<stream::Quantum>& quanta,
+                        std::ostream& out,
+                        const detect::CheckpointExtras& extras = {});
+
+/// Applies a delta snapshot to a freshly restored engine.
+Error ApplyDeltaSnapshot(engine::ParallelDetector& engine, std::istream& in,
+                         std::uint64_t expected_base_id,
+                         detect::snapshot_io::IngestState* ingest = nullptr,
+                         bool* ingest_present = nullptr);
+
+}  // namespace scprt::durability
+
+#endif  // SCPRT_DURABILITY_BACKEND_H_

@@ -1,0 +1,60 @@
+// On-disk framing of the write-ahead log, shared by LogWriter and
+// LogReader (the LevelDB log format, sized for our quantum payloads).
+//
+// The log is a sequence of fixed 32 KB blocks. A logical record is split
+// into one or more physical fragments, each with a 7-byte header:
+//
+//   offset  size  field
+//   0       4     CRC-32 (IEEE) of [type byte || fragment payload]
+//   4       2     fragment payload length (little-endian u16)
+//   6       1     fragment type (kFullRecord / kFirst / kMiddle / kLast)
+//   7       ...   fragment payload
+//
+// A fragment never crosses a block boundary. When fewer than 7 bytes
+// remain in a block the writer zero-fills the trailer and starts the next
+// record at the next block boundary; the reader recognizes an all-zero
+// header (type kZero, length 0, CRC 0) as padding, not damage. Covering
+// the type byte with the CRC means a fragment spliced from another
+// position (or another file) fails its checksum even when its payload
+// bytes are intact.
+//
+// Why blocks: a torn write, a bit flip or a forged length damages at most
+// the fragments of one block — the reader re-synchronizes at the next
+// block boundary is NOT attempted here (recovery wants the newest
+// *consistent prefix*, so the first damaged fragment ends the read; see
+// LogReader). The block structure still bounds how far a corrupt length
+// field can point: a fragment length never exceeds the bytes remaining in
+// its block, so a forged length is detected before any payload is hashed.
+
+#ifndef SCPRT_DURABILITY_LOG_FORMAT_H_
+#define SCPRT_DURABILITY_LOG_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scprt::durability::log {
+
+/// Fixed physical block size of the log file.
+inline constexpr std::size_t kBlockSize = 32768;
+
+/// Fragment header: CRC-32 (u32) + length (u16) + type (u8).
+inline constexpr std::size_t kHeaderSize = 4 + 2 + 1;
+
+/// Physical fragment types.
+enum RecordType : std::uint8_t {
+  /// Reserved for the zero-filled block trailer (never written as a
+  /// fragment; an all-zero header means "skip to the next block").
+  kZero = 0,
+  /// The whole logical record fits in this fragment.
+  kFullRecord = 1,
+  /// First / interior / final fragment of a multi-fragment record.
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+inline constexpr std::uint8_t kMaxRecordType = kLast;
+
+}  // namespace scprt::durability::log
+
+#endif  // SCPRT_DURABILITY_LOG_FORMAT_H_

@@ -1,0 +1,55 @@
+// Reads logical records back out of a write-ahead log, tolerating a torn
+// tail: the first damaged, truncated or out-of-sequence fragment ends the
+// read, and everything before it is the recovered prefix.
+//
+// That stop-at-first-damage policy is deliberate. The WAL is replayed to
+// rebuild detector state, and the state after record k is only meaningful
+// if records 0..k-1 were all applied — skipping a damaged record and
+// resuming at the next block (LevelDB's scan mode) would replay a stream
+// with a hole in it. A crash tears at most the tail, so "newest consistent
+// prefix" and "everything durable" coincide; anything else in the middle
+// of the file is real corruption and ages the recovery point to the last
+// good record, never silently past it.
+
+#ifndef SCPRT_DURABILITY_LOG_READER_H_
+#define SCPRT_DURABILITY_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "durability/log_format.h"
+
+namespace scprt::durability {
+
+class LogReader {
+ public:
+  /// Reads from an in-memory copy of the log file (WAL spans are bounded
+  /// by the segment cadence, so whole-file reads are cheap).
+  explicit LogReader(std::string contents);
+
+  /// Extracts the next logical record. Returns false at the clean end of
+  /// the log or at the first damaged fragment — `why_stopped()` tells the
+  /// two apart (empty string = clean end).
+  bool ReadRecord(std::string& payload);
+
+  /// Why reading stopped: empty while records keep coming and after a
+  /// clean end; a description of the damage after a torn tail.
+  const std::string& why_stopped() const { return why_stopped_; }
+
+  /// Logical records returned so far.
+  std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  /// Marks the log finished (damaged tail when `reason` is non-empty).
+  bool Stop(const std::string& reason);
+
+  std::string contents_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  std::string why_stopped_;
+  std::uint64_t records_read_ = 0;
+};
+
+}  // namespace scprt::durability
+
+#endif  // SCPRT_DURABILITY_LOG_READER_H_

@@ -1,0 +1,43 @@
+// Appends logical records to a write-ahead log file in the block/fragment
+// framing of durability/log_format.h. One writer per file; durability of
+// what was appended is the caller's call (AppendFile::Flush / Sync — the
+// group-commit and fsync-level policy lives in WalBackend, not here).
+
+#ifndef SCPRT_DURABILITY_LOG_WRITER_H_
+#define SCPRT_DURABILITY_LOG_WRITER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "durability/log_format.h"
+#include "durability/posix_file.h"
+
+namespace scprt::durability {
+
+class LogWriter {
+ public:
+  /// Writes to `file` (not owned; must outlive the writer), which must be
+  /// positioned at a block-aligned offset — in practice a freshly created
+  /// file. An empty payload is a valid record.
+  explicit LogWriter(AppendFile* file);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one logical record, fragmenting across blocks as needed and
+  /// zero-padding block trailers too small for a header. Returns false on
+  /// write failure — the file tail is then undefined and the caller must
+  /// stop using this log (recovery tolerates the torn tail).
+  bool AddRecord(std::string_view payload);
+
+ private:
+  bool EmitPhysicalRecord(log::RecordType type, const char* data,
+                          std::size_t n);
+
+  AppendFile* file_;
+  std::size_t block_offset_ = 0;  // bytes used in the current block
+};
+
+}  // namespace scprt::durability
+
+#endif  // SCPRT_DURABILITY_LOG_WRITER_H_

@@ -1,0 +1,82 @@
+// The file layer of the durability tier: an appendable file with explicit
+// flush/sync control, plus the atomic-publish helpers every backend uses.
+//
+// std::ofstream cannot express the commit protocol — it has no fsync, and
+// its failures collapse into one badbit. Everything here goes through raw
+// POSIX descriptors so each step of append → flush → fdatasync → rename →
+// directory fsync can succeed or fail *individually* and surface as a
+// typed durability::Error instead of being logged and dropped.
+
+#ifndef SCPRT_DURABILITY_POSIX_FILE_H_
+#define SCPRT_DURABILITY_POSIX_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "durability/error.h"
+
+namespace scprt::durability {
+
+/// An append-only file with a user-space buffer. Append() accumulates,
+/// Flush() pushes the buffer into the kernel (survives a process crash),
+/// Sync() makes it durable against power loss (fdatasync). One writer.
+class AppendFile {
+ public:
+  /// Opens (creating or truncating) `path` for appending. Returns nullptr
+  /// with the reason in `error` when the open fails.
+  static std::unique_ptr<AppendFile> Open(const std::string& path,
+                                          Error* error = nullptr);
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Buffers `data`; spills to the kernel when the buffer fills. Returns
+  /// false on write failure (the file is then in an undefined tail state
+  /// — exactly what the log reader's torn-tail tolerance is for).
+  bool Append(std::string_view data);
+
+  /// Writes every buffered byte into the kernel.
+  bool Flush();
+
+  /// Flush + fdatasync: the commit becomes durable. Returns false when
+  /// the sync itself failed (callers count this as ErrorCode::kSyncFailed).
+  bool Sync();
+
+  const std::string& path() const { return path_; }
+
+  /// Bytes accepted by Append since open (buffered or not).
+  std::uint64_t size() const { return size_; }
+
+ private:
+  AppendFile(int fd, std::string path);
+  bool WriteRaw(const char* data, std::size_t n);
+
+  int fd_;
+  std::string path_;
+  std::string buffer_;
+  std::uint64_t size_ = 0;
+};
+
+/// fsyncs a directory so a just-renamed entry survives power loss. Returns
+/// false when the directory cannot be opened or synced.
+bool SyncDir(const std::string& directory);
+
+/// Publishes `contents` at `path` atomically: write to `path`.tmp, then
+/// (optionally) fdatasync, rename over `path`, and (optionally) fsync the
+/// parent directory. On failure the tmp file is removed and the previous
+/// `path`, if any, is untouched. `sync` false skips both syncs (the
+/// FsyncLevel::kNone contract); write and rename failures are typed
+/// regardless.
+Error WriteFileAtomic(const std::string& path, std::string_view contents,
+                      bool sync);
+
+/// Reads a whole file. Returns false when it cannot be opened or read.
+bool ReadFileToString(const std::string& path, std::string& out);
+
+}  // namespace scprt::durability
+
+#endif  // SCPRT_DURABILITY_POSIX_FILE_H_

@@ -1,11 +1,5 @@
 #include "ingest/durable.h"
 
-#include <algorithm>
-#include <cinttypes>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <system_error>
 #include <utility>
 
 #include "common/check.h"
@@ -13,71 +7,7 @@
 
 namespace scprt::ingest {
 
-namespace fs = std::filesystem;
 namespace sio = detect::snapshot_io;
-
-namespace {
-
-// One checkpoint file found in the directory.
-struct CheckpointFile {
-  std::uint64_t ordinal = 0;
-  bool full = false;
-  fs::path path;
-};
-
-// Parses "full-NNNNNN.ckpt" / "delta-NNNNNN.ckpt"; false for other names
-// (the scanner ignores foreign files rather than tripping on them). The
-// match must cover the whole name: a leftover "….ckpt.tmp" from a write
-// that crashed before its rename is an uncommitted artifact, not a
-// checkpoint — treating it as one would defeat the tmp+rename protocol.
-bool ParseCheckpointName(const std::string& name, CheckpointFile& out) {
-  unsigned long long ordinal = 0;
-  int consumed = 0;
-  if (std::sscanf(name.c_str(), "full-%llu.ckpt%n", &ordinal, &consumed) ==
-          1 &&
-      consumed == static_cast<int>(name.size())) {
-    out.ordinal = ordinal;
-    out.full = true;
-    return true;
-  }
-  consumed = 0;
-  if (std::sscanf(name.c_str(), "delta-%llu.ckpt%n", &ordinal,
-                  &consumed) == 1 &&
-      consumed == static_cast<int>(name.size())) {
-    out.ordinal = ordinal;
-    out.full = false;
-    return true;
-  }
-  return false;
-}
-
-std::string CheckpointFileName(std::uint64_t ordinal, bool full) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%s-%06" PRIu64 ".ckpt",
-                full ? "full" : "delta", ordinal);
-  return buf;
-}
-
-std::vector<CheckpointFile> ScanDirectory(const std::string& directory) {
-  std::vector<CheckpointFile> files;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(directory, ec)) {
-    if (!entry.is_regular_file(ec)) continue;
-    CheckpointFile file;
-    if (!ParseCheckpointName(entry.path().filename().string(), file)) {
-      continue;
-    }
-    file.path = entry.path();
-    files.push_back(std::move(file));
-  }
-  std::sort(files.begin(), files.end(),
-            [](const CheckpointFile& a, const CheckpointFile& b) {
-              return a.ordinal > b.ordinal;  // newest first
-            });
-  return files;
-}
-
-}  // namespace
 
 DurableIngest::DurableIngest(const IngestConfig& ingest,
                              const engine::ParallelDetectorConfig& engine,
@@ -85,20 +15,19 @@ DurableIngest::DurableIngest(const IngestConfig& ingest,
     : ingest_config_(ingest), engine_config_(engine), durable_(durable) {
   SCPRT_CHECK(!durable.directory.empty());
   SCPRT_CHECK(durable.full_interval >= 1);
-  // At least one cadence trigger must be live: with both off, no
-  // checkpoint is ever due while the delta log still records every
-  // quantum — unbounded memory and zero durability.
+  // At least one cadence trigger must be live: with both off, the
+  // snapshot backend never persists anything and the WAL backend never
+  // cuts a segment — zero durability either way.
   SCPRT_CHECK(durable.checkpoint_quanta > 0 ||
               durable.checkpoint_seconds > 0.0);
-  std::error_code ec;
-  fs::create_directories(durable.directory, ec);
-  // Continue the ordinal sequence above any files already in the
-  // directory, resumed or not: a fresh session restarting at 0 would let
-  // a later --resume pick a stale higher-ordinal checkpoint from an
-  // abandoned deployment over this one's.
-  const std::vector<CheckpointFile> existing =
-      ScanDirectory(durable.directory);
-  if (!existing.empty()) ordinal_ = existing.front().ordinal + 1;
+  durability::BackendOptions options;
+  options.directory = durable.directory;
+  options.kind = durable.backend;
+  options.fsync = durable.fsync;
+  options.commit_quanta = durable.checkpoint_quanta;
+  options.commit_seconds = durable.checkpoint_seconds;
+  options.full_interval = durable.full_interval;
+  backend_ = durability::MakeBackend(options);
   engine_ = std::make_unique<engine::ParallelDetector>(engine_config_,
                                                        &dictionary_.view());
 }
@@ -109,137 +38,55 @@ ResumeResult DurableIngest::Resume() {
   SCPRT_CHECK(pipeline_ == nullptr);  // before the first Run
   ResumeResult result;
   const std::int64_t t0 = MonotonicNanos();
-  const std::vector<CheckpointFile> files = ScanDirectory(durable_.directory);
-  if (files.empty()) return result;  // fresh start
 
-  for (const CheckpointFile& full : files) {
-    if (!full.full) continue;
-    sio::LoadError error = sio::LoadError::kNone;
-    sio::IngestState full_state;
-    bool full_has_ingest = false;
-    std::uint64_t base_id = 0;
-    std::ifstream in(full.path, std::ios::binary);
-    auto engine = engine::ParallelDetector::LoadCheckpoint(
-        in, &dictionary_.view(), engine_config_.threads, &base_id, &error,
-        &full_state, &full_has_ingest);
-    if (engine == nullptr || !full_has_ingest ||
-        full_state.dictionary_base != 0) {
-      if (engine != nullptr) error = sio::LoadError::kCorrupt;
-      if (result.error == sio::LoadError::kNone) result.error = error;
-      result.detail += full.path.filename().string() + ": " +
-                       sio::LoadErrorName(error) +
-                       (engine != nullptr ? " (bad ingest section)" : "") +
-                       "; ";
-      continue;
-    }
-    // Install the full snapshot's dictionary before any replay touches
-    // its keyword ids.
-    BinaryReader full_dictionary(full_state.dictionary_state);
-    if (!dictionary_.RestoreState(full_dictionary)) {
-      if (result.error == sio::LoadError::kNone) {
-        result.error = sio::LoadError::kCorrupt;
-      }
-      result.detail +=
-          full.path.filename().string() + ": dictionary blob malformed; ";
-      continue;  // dictionary_ is unchanged (still empty) — try older fulls
-    }
-    // This generation is committed from here on. The snapshot's detector
-    // configuration is authoritative: the engine was restored with it,
-    // and resuming against a different δ would either break the pending
-    // partial quantum or silently cut different-sized quanta against
-    // state built at the old size.
-    engine_config_.detector = engine->core().config();
-
-    // The newest delta chaining to this base supersedes it: its
-    // IngestState (dictionary tail, cursor, counters) describes the later
-    // fence point.
-    sio::IngestState state = full_state;
-    sio::DeltaPayload delta;
-    bool have_delta = false;
-    for (const CheckpointFile& candidate : files) {
-      if (candidate.full || candidate.ordinal <= full.ordinal) continue;
-      sio::IngestState delta_state;
-      bool delta_has_ingest = false;
-      sio::LoadError delta_error = sio::LoadError::kNone;
-      std::ifstream delta_in(candidate.path, std::ios::binary);
-      const bool valid = sio::ReadAndValidateDelta(
-          delta_in, base_id, engine->next_quantum_index(),
-          engine_config_.detector.quantum_size, delta, &delta_error,
-          &delta_state, &delta_has_ingest);
-      if (valid && delta_has_ingest) {
-        // Deltas carry only the dictionary tail interned since the base;
-        // append it. A mismatched base size degrades to full-only resume.
-        BinaryReader tail(delta_state.dictionary_state);
-        if (!dictionary_.RestoreState(
-                tail,
-                static_cast<KeywordId>(delta_state.dictionary_base))) {
-          if (result.error == sio::LoadError::kNone) {
-            result.error = sio::LoadError::kCorrupt;
-          }
-          result.detail += candidate.path.filename().string() +
-                           ": dictionary tail malformed; ";
-          break;
-        }
-        state = std::move(delta_state);
-        have_delta = true;
-        result.delta_path = candidate.path.string();
-        break;
-      }
-      if (valid) {
-        // A well-formed delta from the non-durable engine path: nothing
-        // corrupt, just not resumable for ingest.
-        result.detail +=
-            candidate.path.filename().string() + ": no ingest section; ";
-        continue;
-      }
-      if (result.error == sio::LoadError::kNone) {
-        result.error = delta_error;
-      }
-      result.detail += candidate.path.filename().string() + ": " +
-                       sio::LoadErrorName(delta_error) + "; ";
-    }
-
-    if (have_delta) {
-      replayed_quanta_ = delta.quanta.size();
-      engine->ApplyValidatedDelta(delta);
-    }
-
-    engine_ = std::move(engine);
-    full_dictionary_size_ = state.dictionary_base == 0
-                                ? dictionary_.size()
-                                : static_cast<std::size_t>(
-                                      state.dictionary_base);
-    resume_pending_messages_ = engine_->TakePendingMessages();
-    resume_next_quantum_ = engine_->next_quantum_index();
-    resume_cursor_ =
-        SourcePosition{state.cursor_record, state.cursor_byte};
-    next_seq_ = state.next_seq;
-    quanta_cut_total_ = state.quanta_cut;
-    records_read_base_ = state.records_read;
-    shed_base_ = state.shed;
-    // Restore the admission seeds so the kFairSample survivor set is the
-    // same function of user ids it was before the crash.
-    ingest_config_.admission.policy =
-        static_cast<OverloadPolicy>(state.admission_policy);
-    ingest_config_.admission.seed = state.admission_seed;
-    ingest_config_.admission.sample_keep_fraction =
-        state.sample_keep_fraction;
-    resume_pending_ = true;
-
-    result.outcome = ResumeResult::Outcome::kResumed;
-    result.full_path = full.path.string();
-    result.next_seq = next_seq_;
-    result.next_quantum = resume_next_quantum_;
-    result.cursor = resume_cursor_;
-    resume_ns_ = static_cast<std::uint64_t>(MonotonicNanos() - t0);
-    return result;
+  durability::RecoverOptions options;
+  options.engine_threads = engine_config_.threads;
+  options.dictionary = &dictionary_;
+  durability::RecoverResult recovered = backend_->Recover(options);
+  result.error = std::move(recovered.error);
+  result.detail = std::move(recovered.detail);
+  switch (recovered.outcome) {
+    case durability::RecoverResult::Outcome::kFresh:
+      return result;
+    case durability::RecoverResult::Outcome::kFailed:
+      result.outcome = ResumeResult::Outcome::kFailed;
+      return result;
+    case durability::RecoverResult::Outcome::kRecovered:
+      break;
   }
 
-  // Checkpoint files exist but nothing was recoverable.
-  result.outcome = ResumeResult::Outcome::kFailed;
-  if (result.error == sio::LoadError::kNone) {
-    result.error = sio::LoadError::kCorrupt;
-  }
+  engine_ = std::move(recovered.engine);
+  // The recovered detector configuration is authoritative: the engine was
+  // restored with it, and resuming against a different δ would either
+  // break the pending partial quantum or silently cut different-sized
+  // quanta against state built at the old size.
+  engine_config_.detector = engine_->core().config();
+  replayed_quanta_ = recovered.replayed_quanta;
+
+  const sio::IngestState& state = recovered.state;
+  resume_pending_messages_ = engine_->TakePendingMessages();
+  resume_next_quantum_ = engine_->next_quantum_index();
+  resume_cursor_ = SourcePosition{state.cursor_record, state.cursor_byte};
+  next_seq_ = state.next_seq;
+  quanta_cut_total_ = state.quanta_cut;
+  records_read_base_ = state.records_read;
+  shed_base_ = state.shed;
+  // Restore the admission seeds so the kFairSample survivor set is the
+  // same function of user ids it was before the crash.
+  ingest_config_.admission.policy =
+      static_cast<OverloadPolicy>(state.admission_policy);
+  ingest_config_.admission.seed = state.admission_seed;
+  ingest_config_.admission.sample_keep_fraction =
+      state.sample_keep_fraction;
+  resume_pending_ = true;
+
+  result.outcome = ResumeResult::Outcome::kResumed;
+  result.full_path = std::move(recovered.base_path);
+  result.delta_path = std::move(recovered.tail_path);
+  result.next_seq = next_seq_;
+  result.next_quantum = resume_next_quantum_;
+  result.cursor = resume_cursor_;
+  resume_ns_ = static_cast<std::uint64_t>(MonotonicNanos() - t0);
   return result;
 }
 
@@ -285,14 +132,13 @@ std::optional<IngestSnapshot> DurableIngest::Run(
   resume_consumed_ = true;
 
   active_assembler_ = &assembler;
-  last_checkpoint_ns_ = MonotonicNanos();
   IngestSnapshot snapshot = pipeline_->Run(source, assembler, options);
   active_assembler_ = nullptr;
 
   // Carry the stream coordinates into a possible next Run: the clock,
   // (when this run did not flush) the still-pending partial quantum, and
   // the lifetime counters — pipeline metrics reset per Run, so each
-  // run's contribution folds into the bases the checkpoints persist.
+  // run's contribution folds into the bases the commits persist.
   next_seq_ += snapshot.messages_emitted;
   resume_next_quantum_ = assembler.quantizer().next_index();
   resume_pending_messages_ = assembler.TakePending();
@@ -304,37 +150,15 @@ std::optional<IngestSnapshot> DurableIngest::Run(
 detect::QuantumReport DurableIngest::ProcessQuantum(
     const stream::Quantum& quantum) {
   detect::QuantumReport report = engine_->ProcessQuantum(quantum);
-  manager_.Record(quantum);
   ++quanta_cut_total_;
-  ++quanta_since_checkpoint_;
 
-  const bool count_due = durable_.checkpoint_quanta > 0 &&
-                         quanta_since_checkpoint_ >=
-                             durable_.checkpoint_quanta;
-  const bool time_due =
-      durable_.checkpoint_seconds > 0.0 &&
-      static_cast<double>(MonotonicNanos() - last_checkpoint_ns_) / 1e9 >=
-          durable_.checkpoint_seconds;
-  if (count_due || time_due) WriteCheckpoint(quantum);
-  return report;
-}
-
-void DurableIngest::WriteCheckpoint(const stream::Quantum& quantum) {
-  const std::int64_t t0 = MonotonicNanos();
-  const bool full =
-      !have_full_ || checkpoints_since_full_ >= durable_.full_interval - 1;
-
-  sio::IngestState state;
-  // A full snapshot carries the whole dictionary; a delta only the tail
-  // interned since its base full (ids are append-only, so the base's
-  // prefix is immutable) — keeping deltas O(delta), not O(vocabulary).
-  const std::size_t dictionary_size = dictionary_.size();
-  state.dictionary_base =
-      full ? 0 : static_cast<std::uint64_t>(full_dictionary_size_);
-  BinaryWriter dictionary_blob;
-  dictionary_.SaveState(dictionary_blob,
-                        static_cast<KeywordId>(state.dictionary_base));
-  state.dictionary_state = dictionary_blob.TakeData();
+  // Hand the boundary to the backend with the frontend state at this
+  // fence; the backend decides whether (and what) it persists.
+  durability::CommitContext ctx;
+  ctx.quantum = &quantum;
+  ctx.quantizer = &active_assembler_->quantizer();
+  ctx.dictionary = &dictionary_;
+  sio::IngestState& state = ctx.state;
   state.admission_policy =
       static_cast<std::uint8_t>(ingest_config_.admission.policy);
   state.admission_seed = ingest_config_.admission.seed;
@@ -350,70 +174,34 @@ void DurableIngest::WriteCheckpoint(const stream::Quantum& quantum) {
   state.records_read = records_read_base_ + live.records_read;
   state.shed = shed_base_ + live.shed;
 
-  detect::CheckpointExtras extras;
-  extras.quantizer_override = &active_assembler_->quantizer();
-  extras.ingest = &state;
-
-  const fs::path path =
-      fs::path(durable_.directory) / CheckpointFileName(ordinal_, full);
-  const fs::path tmp = path.string() + ".tmp";
-  bool ok = false;
-  std::uint64_t checkpoint_id = 0;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (out) {
-      ok = full ? engine_->SaveCheckpoint(out, &checkpoint_id, extras)
-                : engine_->SaveDeltaCheckpoint(manager_.base_id(),
-                                               manager_.log(), out, extras);
-      out.flush();
-      ok = ok && static_cast<bool>(out);
+  durability::CommitResult commit = backend_->Commit(*engine_, ctx);
+  if (!commit.error.ok()) {
+    ++checkpoint_failures_;
+    last_error_ = commit.error;
+    pipeline_->metrics().AddCheckpointFailure();
+    SCPRT_LOG(kWarning) << "durable commit failed ("
+                      << commit.error.ToString()
+                      << ") — recovery point ages until the next attempt";
+  }
+  const std::uint64_t sync_failures = backend_->sync_failures();
+  if (sync_failures > sync_failures_seen_) {
+    pipeline_->metrics().AddSyncFailure(sync_failures -
+                                        sync_failures_seen_);
+    sync_failures_seen_ = sync_failures;
+  }
+  if (commit.persisted) {
+    pipeline_->metrics().AddCommit(commit.bytes, commit.stall_ns);
+    if (commit.checkpoint) {
+      pipeline_->metrics().AddCheckpoint(commit.bytes, commit.stall_ns);
+    }
+    // Durability is re-established: end the post-resume lossless-replay
+    // window and give the configured overload policy back its say.
+    if (suppression_active_ && commit.error.ok()) {
+      pipeline_->set_suppress_shedding(false);
+      suppression_active_ = false;
     }
   }
-  std::error_code ec;
-  if (ok) {
-    fs::rename(tmp, path, ec);
-    ok = !ec;
-  }
-  if (!ok) {
-    ++checkpoint_failures_;
-    fs::remove(tmp, ec);
-    SCPRT_LOG(kWarning) << "checkpoint write failed: " << path.string()
-                      << " — recovery point ages until the next attempt";
-    return;  // delta log kept; retried at the next due boundary
-  }
-
-  if (full) {
-    manager_.OnFullSaved(checkpoint_id);
-    have_full_ = true;
-    checkpoints_since_full_ = 0;
-    full_dictionary_size_ = dictionary_size;
-    // Keep one whole fallback generation: the previous full and every
-    // delta after it survive until the *next* full supersedes them.
-    CollectGarbage(prev_full_ordinal_);
-    prev_full_ordinal_ = ordinal_;
-  } else {
-    ++checkpoints_since_full_;
-  }
-  ++ordinal_;
-  quanta_since_checkpoint_ = 0;
-  last_checkpoint_ns_ = MonotonicNanos();
-  // Durability is re-established: end the post-resume lossless-replay
-  // window and give the configured overload policy back its say.
-  if (suppression_active_) {
-    pipeline_->set_suppress_shedding(false);
-    suppression_active_ = false;
-  }
-
-  const std::uint64_t bytes = fs::file_size(path, ec);
-  pipeline_->metrics().AddCheckpoint(
-      ec ? 0 : bytes, static_cast<std::uint64_t>(MonotonicNanos() - t0));
-}
-
-void DurableIngest::CollectGarbage(std::uint64_t keep_from_ordinal) {
-  std::error_code ec;
-  for (const CheckpointFile& file : ScanDirectory(durable_.directory)) {
-    if (file.ordinal < keep_from_ordinal) fs::remove(file.path, ec);
-  }
+  return report;
 }
 
 }  // namespace scprt::ingest

@@ -1,34 +1,37 @@
 // Checkpoint-aware ingest: a raw-text deployment that survives crashes.
 //
-// DurableIngest wires detect::CheckpointManager into the IngestPipeline.
-// While the pipeline runs, every cut quantum is recorded into the delta
-// log, and on a configurable cadence — every K quanta and/or every T
-// seconds, always at a quantum boundary — the session snapshots the whole
-// deployment into a checkpoint directory:
+// DurableIngest wires a durability::Backend into the IngestPipeline.
+// While the pipeline runs, every cut quantum is handed to the backend at
+// the quantum boundary — under the engine's ShardPool::Quiesce fence, on
+// the driver thread — together with the deployment's frontend state:
 //
-//   * the detector's derived state (the native structural snapshot of
-//     detect/checkpoint.h, cut under the engine's ShardPool::Quiesce
-//     fence),
 //   * the assembler's quantizer clock + pending partial quantum (the
 //     outermost accumulation point of the ingest path),
-//   * the IngestState trailing section: the live keyword dictionary, the
-//     admission policy/seed, the source cursor of the record that closed
-//     the quantum, and the stream counters (snapshot_io::IngestState).
+//   * the live keyword dictionary, the admission policy/seed, the source
+//     cursor of the record that closed the quantum, and the stream
+//     counters (snapshot_io::IngestState).
 //
-// Checkpoints alternate full snapshots and deltas (full_interval), written
-// atomically (temp file + rename) as full-NNNNNN.ckpt / delta-NNNNNN.ckpt;
-// superseded generations are garbage-collected.
+// The backend decides what that boundary persists:
 //
-// Resume() restores the newest loadable full snapshot plus the newest
-// delta chaining to it, re-installs the dictionary, admission seeds and
-// stream counters, and Run() then Seek()s the source back to the saved
-// cursor and replays only the tail since the checkpoint. Replayed records
-// re-enter the normal tokenize/intern path with shedding suppressed
+//   * durability::SnapshotBackend — cadence full/delta checkpoint files
+//     (full-NNNNNN.ckpt / delta-NNNNNN.ckpt, tmp + rename, one fallback
+//     generation) — the scheme this class used to implement inline;
+//   * durability::WalBackend — one CRC-framed log record per quantum with
+//     group commit, full-snapshot segments on the full cadence, and a
+//     MANIFEST + CURRENT pair naming the generation in force.
+//
+// Resume() asks the backend to recover the newest durable generation,
+// re-installs the dictionary, admission seeds and stream counters, and
+// Run() then Seek()s the source back to the saved cursor and replays only
+// the tail since the recovered fence. Replayed records re-enter the normal
+// tokenize/intern path with shedding suppressed
 // (RunOptions::suppress_shedding), so the post-restore report stream is
 // bit-identical to a never-restarted pipeline's at any worker and engine
-// thread count — tests/ingest_checkpoint_test.cc proves it seeded and
-// fresh-dictionary. Recovery cost is surfaced as a first-class metric
-// (IngestSnapshot::recovery_seconds, checkpoint_* counters).
+// thread count, under either backend — tests/ingest_checkpoint_test.cc
+// proves it seeded and fresh-dictionary. Recovery cost is surfaced as a
+// first-class metric (IngestSnapshot::recovery_seconds, checkpoint_* and
+// commit_* counters); commit failures surface typed
+// (IngestSnapshot::checkpoint_failures / sync_failures, last_error()).
 
 #ifndef SCPRT_INGEST_DURABLE_H_
 #define SCPRT_INGEST_DURABLE_H_
@@ -39,8 +42,7 @@
 #include <string>
 #include <vector>
 
-#include "detect/checkpoint.h"
-#include "detect/snapshot_io.h"
+#include "durability/backend.h"
 #include "engine/parallel_detector.h"
 #include "ingest/assembler.h"
 #include "ingest/pipeline.h"
@@ -49,22 +51,29 @@
 
 namespace scprt::ingest {
 
-/// Checkpoint cadence and placement.
+/// Durability scheme, cadence and placement.
 struct DurableConfig {
-  /// Directory the checkpoint files live in (created if missing).
+  /// Directory the durability files live in (created if missing).
   std::string directory;
-  /// Checkpoint every K cut quanta (0 disables the count trigger; at
-  /// least one of the two triggers must stay enabled).
+  /// Which durability::Backend runs underneath (snapshot or WAL).
+  durability::BackendKind backend = durability::BackendKind::kSnapshot;
+  /// How aggressively commits are fsynced (see durability::FsyncLevel).
+  durability::FsyncLevel fsync = durability::FsyncLevel::kNone;
+  /// Checkpoint cadence in quanta: the snapshot backend writes a file
+  /// every K cut quanta; the WAL backend commits every quantum and uses K
+  /// as its group-commit fsync interval. (0 disables the count trigger;
+  /// at least one of the two triggers must stay enabled.)
   std::size_t checkpoint_quanta = 8;
   /// Also checkpoint when T seconds passed since the last one, evaluated
   /// at quantum boundaries (0 disables the time trigger).
   double checkpoint_seconds = 0.0;
-  /// Every Nth checkpoint is a full snapshot; the ones between are deltas
-  /// chained to it (1 = every checkpoint is full).
+  /// Every Nth checkpoint is a full snapshot (snapshot backend); the WAL
+  /// backend cuts a segment every checkpoint_quanta * full_interval
+  /// quanta (1 = every checkpoint is full).
   std::size_t full_interval = 4;
   /// Replay the post-checkpoint tail with shedding suppressed, reverting
   /// to the configured policy at the first successful post-resume
-  /// checkpoint (see RunOptions::suppress_shedding and the resume
+  /// commit (see RunOptions::suppress_shedding and the resume
   /// runbook in docs/operations.md).
   bool suppress_shedding_on_resume = true;
 };
@@ -76,17 +85,17 @@ struct ResumeResult {
     kFresh,
     /// State restored; Run() will seek the source and continue.
     kResumed,
-    /// Checkpoints exist but none could be restored.
+    /// Durable files exist but none could be restored.
     kFailed,
   };
   Outcome outcome = Outcome::kFresh;
-  /// Typed reason of the *newest* failing checkpoint when anything failed
-  /// to load (also set when an older checkpoint rescued the resume).
-  detect::snapshot_io::LoadError error =
-      detect::snapshot_io::LoadError::kNone;
+  /// Typed reason of the *newest* failing artifact when anything failed
+  /// to load (also set when an older generation rescued the resume).
+  durability::Error error;
   /// Human-readable trail: which files loaded, which were skipped and why.
   std::string detail;
-  /// Paths actually restored (empty when not resumed).
+  /// Artifacts actually restored (empty when not resumed): the base full
+  /// snapshot / segment, and the delta file / WAL tail replayed on top.
   std::string full_path;
   std::string delta_path;
   /// Stream coordinates the session will continue from.
@@ -95,10 +104,10 @@ struct ResumeResult {
   SourcePosition cursor;
 };
 
-/// A checkpointing ingest session: owns the dictionary, the sharded
-/// engine, the pipeline and the checkpoint schedule. Construct, optionally
-/// Resume(), then Run() — possibly repeatedly (each Run continues the
-/// stream where the previous one ended).
+/// A durable ingest session: owns the dictionary, the sharded engine, the
+/// pipeline and the durability backend. Construct, optionally Resume(),
+/// then Run() — possibly repeatedly (each Run continues the stream where
+/// the previous one ended).
 class DurableIngest {
  public:
   DurableIngest(const IngestConfig& ingest,
@@ -109,20 +118,20 @@ class DurableIngest {
   DurableIngest(const DurableIngest&) = delete;
   DurableIngest& operator=(const DurableIngest&) = delete;
 
-  /// Restores the newest recoverable checkpoint generation from the
-  /// directory. Call at most once, before the first Run(). A missing or
-  /// empty directory is a fresh start, not an error.
+  /// Restores the newest recoverable generation from the directory. Call
+  /// at most once, before the first Run(). A missing or empty directory
+  /// is a fresh start, not an error.
   ResumeResult Resume();
 
-  /// Pumps `source` through the pipeline into the engine, checkpointing on
-  /// cadence. After a successful Resume() the source is first Seek()ed to
-  /// the saved cursor; returns nullopt (nothing consumed) when that seek
-  /// fails — an unseekable source cannot replay its tail. `on_report`
-  /// (optional) observes every quantum report. `flush_partial` keeps the
-  /// live end-of-stream semantics (report on the trailing partial
-  /// quantum); pass false when this Run is a segment of a longer stream —
-  /// the partial stays pending and the next Run (or the checkpoint +
-  /// resume path) continues it.
+  /// Pumps `source` through the pipeline into the engine, committing at
+  /// quantum boundaries per the backend's policy. After a successful
+  /// Resume() the source is first Seek()ed to the saved cursor; returns
+  /// nullopt (nothing consumed) when that seek fails — an unseekable
+  /// source cannot replay its tail. `on_report` (optional) observes every
+  /// quantum report. `flush_partial` keeps the live end-of-stream
+  /// semantics (report on the trailing partial quantum); pass false when
+  /// this Run is a segment of a longer stream — the partial stays pending
+  /// and the next Run (or the commit + resume path) continues it.
   std::optional<IngestSnapshot> Run(MessageSource& source,
                                     QuantumAssembler::ReportFn on_report,
                                     bool flush_partial = true);
@@ -139,31 +148,31 @@ class DurableIngest {
   /// The sharded engine driving detection.
   engine::ParallelDetector& engine() { return *engine_; }
 
+  /// The durability backend in force.
+  const durability::Backend& backend() const { return *backend_; }
+
   /// Live counters (poll from any thread while Run is in flight). Valid
   /// after the first Run() started.
   const IngestMetrics* metrics() const {
     return pipeline_ != nullptr ? &pipeline_->metrics() : nullptr;
   }
 
-  /// Checkpoints that failed to write (the stream keeps flowing; the
-  /// recovery point just ages until the next attempt succeeds).
+  /// Commits that failed (the stream keeps flowing; the recovery point
+  /// just ages until the next attempt succeeds).
   std::uint64_t checkpoint_failures() const { return checkpoint_failures_; }
 
-  /// Quanta replayed from the delta during the last Resume().
+  /// Typed reason of the most recent commit failure (ok() when none yet).
+  const durability::Error& last_error() const { return last_error_; }
+
+  /// Quanta replayed from the delta/WAL tail during the last Resume().
   std::uint64_t replayed_quanta() const { return replayed_quanta_; }
 
   const IngestConfig& ingest_config() const { return ingest_config_; }
 
  private:
-  /// The assembler ProcessFn: detect, record, checkpoint when due.
+  /// The assembler ProcessFn: detect, then hand the boundary to the
+  /// backend.
   detect::QuantumReport ProcessQuantum(const stream::Quantum& quantum);
-
-  /// Writes one checkpoint (full or delta per the schedule) at the quantum
-  /// boundary just crossed. `quantum` is the quantum that closed.
-  void WriteCheckpoint(const stream::Quantum& quantum);
-
-  /// Deletes checkpoint files of generations older than the previous full.
-  void CollectGarbage(std::uint64_t keep_from_ordinal);
 
   IngestConfig ingest_config_;
   engine::ParallelDetectorConfig engine_config_;
@@ -172,7 +181,7 @@ class DurableIngest {
   text::ConcurrentKeywordDictionary dictionary_;
   std::unique_ptr<engine::ParallelDetector> engine_;
   std::unique_ptr<IngestPipeline> pipeline_;
-  detect::CheckpointManager manager_;
+  std::unique_ptr<durability::Backend> backend_;
 
   // Stream coordinates carried across runs and restarts.
   std::uint64_t next_seq_ = 0;
@@ -180,17 +189,11 @@ class DurableIngest {
   std::uint64_t records_read_base_ = 0;
   std::uint64_t shed_base_ = 0;
 
-  // Checkpoint schedule state.
-  std::uint64_t ordinal_ = 0;  // next file ordinal
-  std::uint64_t prev_full_ordinal_ = 0;
-  std::size_t checkpoints_since_full_ = 0;
-  bool have_full_ = false;
-  std::size_t full_dictionary_size_ = 0;  // vocab size at the last full
-  std::size_t quanta_since_checkpoint_ = 0;
-  std::int64_t last_checkpoint_ns_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
+  std::uint64_t sync_failures_seen_ = 0;
+  durability::Error last_error_;
   // Lossless-replay window: set when a resumed Run starts with shedding
-  // suppressed, cleared at the first successful post-resume checkpoint.
+  // suppressed, cleared at the first successful post-resume commit.
   bool suppression_active_ = false;
 
   // Resume state consumed by the next Run().

@@ -18,6 +18,11 @@ void IngestMetrics::Reset() {
   checkpoints_.store(0, std::memory_order_relaxed);
   checkpoint_bytes_.store(0, std::memory_order_relaxed);
   checkpoint_ns_.store(0, std::memory_order_relaxed);
+  commits_.store(0, std::memory_order_relaxed);
+  commit_bytes_.store(0, std::memory_order_relaxed);
+  commit_ns_.store(0, std::memory_order_relaxed);
+  checkpoint_failures_.store(0, std::memory_order_relaxed);
+  sync_failures_.store(0, std::memory_order_relaxed);
   // recovery_ns_ deliberately survives: it is set by the resume that led
   // into the Run whose Reset this is.
   start_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
@@ -38,6 +43,12 @@ IngestSnapshot IngestMetrics::Snapshot() const {
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
   s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.commit_bytes = commit_bytes_.load(std::memory_order_relaxed);
+  s.commit_ns = commit_ns_.load(std::memory_order_relaxed);
+  s.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  s.sync_failures = sync_failures_.load(std::memory_order_relaxed);
   s.recovery_seconds =
       static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) /
       1e9;
@@ -49,7 +60,7 @@ IngestSnapshot IngestMetrics::Snapshot() const {
 }
 
 std::string IngestSnapshot::Format() const {
-  char buf[320];
+  char buf[448];
   int n = std::snprintf(
       buf, sizeof(buf),
       "%llu msgs (%llu quanta) in %.2fs = %.0f msg/s | "
@@ -62,18 +73,31 @@ std::string IngestSnapshot::Format() const {
       static_cast<unsigned long long>(malformed),
       TokenizeMicrosPerMessage(),
       static_cast<unsigned long long>(peak_queue_depth));
+  if (commits > 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " | %llu commits, %.0f us/commit",
+                       static_cast<unsigned long long>(commits),
+                       CommitMicros());
+  }
   if (checkpoints > 0 && n > 0 &&
       static_cast<std::size_t>(n) < sizeof(buf)) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " | %llu ckpts, %.1f ms/ckpt",
+                       static_cast<unsigned long long>(checkpoints),
+                       CheckpointMillis());
+  }
+  if ((checkpoint_failures > 0 || sync_failures > 0) && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof(buf)) {
     std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
-                  " | %llu ckpts, %.1f ms/ckpt",
-                  static_cast<unsigned long long>(checkpoints),
-                  CheckpointMillis());
+                  " | FAILURES: %llu commit, %llu sync",
+                  static_cast<unsigned long long>(checkpoint_failures),
+                  static_cast<unsigned long long>(sync_failures));
   }
   return buf;
 }
 
 std::string IngestSnapshot::FormatJson() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"records_read\": %llu, \"malformed\": %llu, \"admitted\": %llu, "
@@ -81,6 +105,8 @@ std::string IngestSnapshot::FormatJson() const {
       "\"tokens\": %llu, \"keywords\": %llu, \"tokenize_ns\": %llu, "
       "\"peak_queue_depth\": %llu, \"checkpoints\": %llu, "
       "\"checkpoint_bytes\": %llu, \"checkpoint_ns\": %llu, "
+      "\"commits\": %llu, \"commit_bytes\": %llu, \"commit_ns\": %llu, "
+      "\"checkpoint_failures\": %llu, \"sync_failures\": %llu, "
       "\"recovery_seconds\": %.6f, \"elapsed_seconds\": %.6f, "
       "\"messages_per_second\": %.1f}",
       static_cast<unsigned long long>(records_read),
@@ -95,7 +121,12 @@ std::string IngestSnapshot::FormatJson() const {
       static_cast<unsigned long long>(peak_queue_depth),
       static_cast<unsigned long long>(checkpoints),
       static_cast<unsigned long long>(checkpoint_bytes),
-      static_cast<unsigned long long>(checkpoint_ns), recovery_seconds,
+      static_cast<unsigned long long>(checkpoint_ns),
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(commit_bytes),
+      static_cast<unsigned long long>(commit_ns),
+      static_cast<unsigned long long>(checkpoint_failures),
+      static_cast<unsigned long long>(sync_failures), recovery_seconds,
       elapsed_seconds, MessagesPerSecond());
   return buf;
 }

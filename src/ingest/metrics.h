@@ -35,6 +35,11 @@ struct IngestSnapshot {
   std::uint64_t checkpoints = 0;      ///< checkpoints written this run
   std::uint64_t checkpoint_bytes = 0; ///< bytes written to checkpoints
   std::uint64_t checkpoint_ns = 0;    ///< wall time spent checkpointing
+  std::uint64_t commits = 0;          ///< durable commits (WAL appends incl.)
+  std::uint64_t commit_bytes = 0;     ///< bytes written by commits
+  std::uint64_t commit_ns = 0;        ///< wall time stalled on commits
+  std::uint64_t checkpoint_failures = 0; ///< commit attempts that failed
+  std::uint64_t sync_failures = 0;    ///< fsync/fdatasync calls that failed
   double recovery_seconds = 0;        ///< load+seek cost of a resume, else 0
   double elapsed_seconds = 0;         ///< wall time (Run() start to snapshot)
 
@@ -56,6 +61,14 @@ struct IngestSnapshot {
     return checkpoints > 0 ? static_cast<double>(checkpoint_ns) / 1e6 /
                                  static_cast<double>(checkpoints)
                            : 0.0;
+  }
+  /// Mean stall of one durable commit, in microseconds. Under the WAL
+  /// backend this is the per-quantum append cost — the number to hold
+  /// against CheckpointMillis when picking a backend.
+  double CommitMicros() const {
+    return commits > 0 ? static_cast<double>(commit_ns) / 1e3 /
+                             static_cast<double>(commits)
+                       : 0.0;
   }
 
   /// One-line human rendering.
@@ -84,6 +97,22 @@ class IngestMetrics {
     Add(checkpoint_bytes_, bytes);
     Add(checkpoint_ns_, ns);
   }
+
+  /// One durable commit (a WAL record append or a checkpoint file): its
+  /// size and the pipeline stall it cost.
+  void AddCommit(std::uint64_t bytes, std::uint64_t ns) {
+    Add(commits_, 1);
+    Add(commit_bytes_, bytes);
+    Add(commit_ns_, ns);
+  }
+
+  /// A commit attempt failed (typed reason lives with the caller); the
+  /// stream keeps flowing, the recovery point ages.
+  void AddCheckpointFailure() { Add(checkpoint_failures_, 1); }
+
+  /// An fsync/fdatasync failed: bytes may be in the kernel, but the
+  /// commit's power-loss durability could not be established.
+  void AddSyncFailure(std::uint64_t n) { Add(sync_failures_, n); }
 
   /// Recovery cost (load + delta replay + source seek) of the resume that
   /// preceded this run. Survives Reset() — it describes how the run began.
@@ -125,6 +154,11 @@ class IngestMetrics {
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> checkpoint_bytes_{0};
   std::atomic<std::uint64_t> checkpoint_ns_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> commit_bytes_{0};
+  std::atomic<std::uint64_t> commit_ns_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  std::atomic<std::uint64_t> sync_failures_{0};
   std::atomic<std::uint64_t> recovery_ns_{0};
   std::atomic<std::int64_t> start_ns_{0};
 };

@@ -1,12 +1,18 @@
 // Coverage of remaining public-API surface: report formatting edge cases,
 // graph snapshots/Clear, message conservation through the quantizer,
-// detector accessors used by checkpointing and the bench harnesses.
+// detector accessors used by checkpointing and the bench harnesses, and
+// the durability tier's typed surface (durability/backend.h) — the API
+// that replaced the save/load free functions.
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
 
 #include "common/random.h"
 #include "detect/detector.h"
 #include "detect/report.h"
+#include "durability/backend.h"
 #include "graph/graph.h"
 #include "stream/quantizer.h"
 
@@ -116,6 +122,116 @@ TEST(DetectorAccessorsTest, NoDictionaryDisablesNounFilter) {
   }
   ASSERT_TRUE(report.has_value());
   EXPECT_FALSE(report->events.empty());
+}
+
+// ------------------------------------------ Durability typed surface -----
+
+TEST(DurabilitySurfaceTest, NamesAndParsersRoundTrip) {
+  using durability::BackendKind;
+  using durability::FsyncLevel;
+  // These spellings are flag/JSON-stable: docs/cli.md and the bench
+  // output pin them, so a rename here is a breaking change.
+  EXPECT_STREQ(durability::BackendKindName(BackendKind::kSnapshot),
+               "snapshot");
+  EXPECT_STREQ(durability::BackendKindName(BackendKind::kWal), "wal");
+  EXPECT_STREQ(durability::FsyncLevelName(FsyncLevel::kNone), "none");
+  EXPECT_STREQ(durability::FsyncLevelName(FsyncLevel::kInterval),
+               "interval");
+  EXPECT_STREQ(durability::FsyncLevelName(FsyncLevel::kEveryCommit),
+               "commit");
+
+  BackendKind kind = BackendKind::kSnapshot;
+  EXPECT_TRUE(durability::ParseBackendKind("wal", kind));
+  EXPECT_EQ(kind, BackendKind::kWal);
+  EXPECT_TRUE(durability::ParseBackendKind("snapshot", kind));
+  EXPECT_EQ(kind, BackendKind::kSnapshot);
+  EXPECT_FALSE(durability::ParseBackendKind("rocksdb", kind));
+
+  FsyncLevel level = FsyncLevel::kNone;
+  EXPECT_TRUE(durability::ParseFsyncLevel("commit", level));
+  EXPECT_EQ(level, FsyncLevel::kEveryCommit);
+  EXPECT_TRUE(durability::ParseFsyncLevel("every-commit", level));
+  EXPECT_EQ(level, FsyncLevel::kEveryCommit);
+  EXPECT_TRUE(durability::ParseFsyncLevel("interval", level));
+  EXPECT_EQ(level, FsyncLevel::kInterval);
+  EXPECT_TRUE(durability::ParseFsyncLevel("none", level));
+  EXPECT_EQ(level, FsyncLevel::kNone);
+  EXPECT_FALSE(durability::ParseFsyncLevel("always", level));
+}
+
+TEST(DurabilitySurfaceTest, ErrorAbsorbsLoadErrorBothWays) {
+  using durability::Error;
+  using durability::ErrorCode;
+  namespace sio = detect::snapshot_io;
+  // The typed Error is a superset of snapshot_io::LoadError: the shared
+  // codes map 1:1 in both directions, the durability-only codes collapse
+  // to kIo on the legacy side.
+  EXPECT_TRUE(Error::FromLoad(sio::LoadError::kNone).ok());
+  EXPECT_EQ(Error::FromLoad(sio::LoadError::kCorrupt).code,
+            ErrorCode::kCorrupt);
+  EXPECT_EQ(Error::FromLoad(sio::LoadError::kVersionSkew).code,
+            ErrorCode::kVersionSkew);
+  EXPECT_EQ(Error::FromLoad(sio::LoadError::kBaseMismatch).code,
+            ErrorCode::kBaseMismatch);
+  EXPECT_EQ(durability::MakeError(ErrorCode::kCorrupt, "x").ToLoadError(),
+            sio::LoadError::kCorrupt);
+  EXPECT_EQ(durability::MakeError(ErrorCode::kSyncFailed, "x").ToLoadError(),
+            sio::LoadError::kIo);
+  EXPECT_EQ(durability::MakeError(ErrorCode::kNoManifest, "x").ToLoadError(),
+            sio::LoadError::kIo);
+  // ToString carries both the code name and the caller's detail.
+  const Error error = durability::MakeError(ErrorCode::kRenameFailed,
+                                            "rename CURRENT");
+  EXPECT_NE(error.ToString().find("rename CURRENT"), std::string::npos);
+}
+
+TEST(DurabilitySurfaceTest, MakeBackendBuildsTheKindAsked) {
+  durability::BackendOptions options;
+  options.directory =
+      (std::filesystem::path(::testing::TempDir()) / "surface_backend")
+          .string();
+  options.kind = durability::BackendKind::kSnapshot;
+  EXPECT_EQ(durability::MakeBackend(options)->kind(),
+            durability::BackendKind::kSnapshot);
+  options.kind = durability::BackendKind::kWal;
+  EXPECT_EQ(durability::MakeBackend(options)->kind(),
+            durability::BackendKind::kWal);
+}
+
+TEST(DurabilitySurfaceTest, OneShotSaveLoadRoundTripsThroughTypedErrors) {
+  text::KeywordDictionary dictionary;
+  engine::ParallelDetectorConfig config;
+  config.detector.quantum_size = 6;
+  config.threads = 1;
+  engine::ParallelDetector engine(config, &dictionary);
+  stream::Message m;
+  m.user = 1;
+  m.keywords = {1, 2};
+  std::vector<stream::Message> messages(12, m);
+  for (const stream::Quantum& quantum :
+       stream::SplitIntoQuanta(messages, 6, /*keep_partial=*/false)) {
+    engine.ProcessQuantum(quantum);
+  }
+
+  std::stringstream out(std::ios::binary | std::ios::in | std::ios::out);
+  std::uint64_t checkpoint_id = 0;
+  ASSERT_TRUE(durability::SaveSnapshot(engine, out, &checkpoint_id).ok());
+  EXPECT_NE(checkpoint_id, 0u);
+
+  durability::Error error;
+  auto restored = durability::LoadEngineSnapshot(out, &dictionary,
+                                                 /*threads=*/1, nullptr,
+                                                 &error);
+  ASSERT_NE(restored, nullptr) << error.ToString();
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(restored->next_quantum_index(), engine.next_quantum_index());
+
+  // A garbage stream fails with the typed reason, not a bare false.
+  std::stringstream garbage(std::string(64, 'z'));
+  EXPECT_EQ(durability::LoadEngineSnapshot(garbage, &dictionary, 1, nullptr,
+                                           &error),
+            nullptr);
+  EXPECT_EQ(error.code, durability::ErrorCode::kBadMagic);
 }
 
 }  // namespace

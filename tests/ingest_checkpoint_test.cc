@@ -166,12 +166,14 @@ struct KillResumeCase {
   std::size_t workers;
   bool seeded;
   std::size_t engine_threads;
+  durability::BackendKind backend = durability::BackendKind::kSnapshot;
 };
 
 void RunKillResumeCase(const KillResumeCase& c) {
   SCOPED_TRACE(::testing::Message()
                << "workers=" << c.workers << " seeded=" << c.seeded
-               << " engine_threads=" << c.engine_threads);
+               << " engine_threads=" << c.engine_threads << " backend="
+               << durability::BackendKindName(c.backend));
   const stream::SyntheticTrace trace = SmallTrace();
   const detect::DetectorConfig detector_config = SmallDetectorConfig();
   std::stringstream text;
@@ -199,7 +201,9 @@ void RunKillResumeCase(const KillResumeCase& c) {
   durable.directory = TempDir(
       "kill_resume_" + std::to_string(c.workers) +
       (c.seeded ? "_seeded" : "_fresh") +
-      std::to_string(c.engine_threads));
+      std::to_string(c.engine_threads) + "_" +
+      durability::BackendKindName(c.backend));
+  durable.backend = c.backend;
   durable.checkpoint_quanta = 3;
   durable.full_interval = 2;  // exercise the delta path, not just fulls
 
@@ -280,6 +284,25 @@ TEST(KillResumeTest, OneWorkerFreshDictionary) {
 
 TEST(KillResumeTest, FourWorkersFreshDictionarySharded) {
   RunKillResumeCase({4, false, 2});
+}
+
+// The same matrix over the WAL backend: every quantum is a log record, so
+// the resumed fence is the last *committed quantum*, not the last cadence
+// checkpoint — yet the stitched report stream must stay bit-identical.
+TEST(KillResumeTest, WalOneWorkerSeeded) {
+  RunKillResumeCase({1, true, 1, durability::BackendKind::kWal});
+}
+
+TEST(KillResumeTest, WalFourWorkersSeeded) {
+  RunKillResumeCase({4, true, 1, durability::BackendKind::kWal});
+}
+
+TEST(KillResumeTest, WalOneWorkerFreshDictionary) {
+  RunKillResumeCase({1, false, 1, durability::BackendKind::kWal});
+}
+
+TEST(KillResumeTest, WalFourWorkersFreshDictionarySharded) {
+  RunKillResumeCase({4, false, 2, durability::BackendKind::kWal});
 }
 
 TEST(KillResumeTest, ResumeAdoptsTheSnapshotsDetectorConfig) {
@@ -438,7 +461,7 @@ TEST(KillResumeTest, ResumeSurvivesACorruptNewestDelta) {
   // skipped with the typed reason.
   ASSERT_EQ(resume.outcome, ResumeResult::Outcome::kResumed)
       << resume.detail;
-  EXPECT_EQ(resume.error, sio::LoadError::kCorrupt);
+  EXPECT_EQ(resume.error.code, durability::ErrorCode::kCorrupt);
   EXPECT_NE(resume.detail.find(newest.filename().string()),
             std::string::npos);
   EXPECT_NE(resume.full_path, newest.string());
