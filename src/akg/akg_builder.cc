@@ -1,6 +1,8 @@
 #include "akg/akg_builder.h"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <unordered_set>
 #include <utility>
 
@@ -10,17 +12,25 @@ namespace scprt::akg {
 
 using graph::Edge;
 
+namespace {
+
+std::size_t ResolveMinHashSize(const AkgConfig& config) {
+  return config.minhash_size > 0
+             ? config.minhash_size
+             : DefaultMinHashSize(config.high_state_threshold,
+                                  config.ec_threshold);
+}
+
+}  // namespace
+
 AkgBuilder::AkgBuilder(const AkgConfig& config,
                        std::function<bool(KeywordId)> in_cluster)
     : config_(config),
       in_cluster_(std::move(in_cluster)),
       id_sets_(config.window_length),
       node_state_(config.high_state_threshold, config.window_length),
-      hasher_(config.minhash_size > 0
-                  ? config.minhash_size
-                  : DefaultMinHashSize(config.high_state_threshold,
-                                       config.ec_threshold),
-              config.seed) {
+      sketch_window_(config.window_length, ResolveMinHashSize(config),
+                     config.seed, config.weighted_minhash) {
   SCPRT_CHECK(config.ec_threshold > 0.0 && config.ec_threshold <= 1.0);
   SCPRT_CHECK(in_cluster_ != nullptr);
 }
@@ -40,9 +50,11 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   now_ = aggregate.index;
   last_stats_ = AkgQuantumStats{};
 
-  // --- 1. Ingest the quantum's (keyword, user) aggregate into id sets;
-  //        the fold + expiry runs keyword-shard-parallel ---
+  // --- 1. Ingest the quantum's (keyword, user) aggregate into id sets and
+  //        the per-quantum sketch ring; both folds + expiries run
+  //        keyword-shard-parallel ---
   id_sets_.IngestAggregate(aggregate, parallel_for_);
+  sketch_window_.Ingest(aggregate, parallel_for_);
 
   // --- 2. Node state transitions (Section 3.1) ---
   std::vector<std::pair<KeywordId, std::uint32_t>> quantum_keywords;
@@ -72,15 +84,18 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
 
   // --- 4. Refresh signatures of keywords whose id sets changed and are
   //        relevant this quantum: set (1) bursty + set (2) AKG-and-seen.
-  //        Each signature depends only on its own window id set, so the
-  //        batch runs through the parallel hook; writes into signatures_
-  //        stay on this thread. ---
+  //        Each window sketch is a Combine tree over the keyword's cached
+  //        per-quantum sketches (no rehash of the folded window id set);
+  //        sketches depend only on their own ring entries, so the batch
+  //        runs through the parallel hook; writes into signatures_ stay on
+  //        this thread. ---
   std::vector<KeywordId> refresh = update.bursty;
   refresh.insert(refresh.end(), update.seen_in_akg.begin(),
                  update.seen_in_akg.end());
-  std::vector<MinHashSignature> refreshed(refresh.size());
+  std::vector<KeywordSignature> refreshed(refresh.size());
   parallel_for_(refresh.size(), [&](std::size_t i) {
-    refreshed[i] = hasher_.Signature(id_sets_.WindowUsers(refresh[i]));
+    refreshed[i].sketch = sketch_window_.WindowSketch(refresh[i]);
+    refreshed[i].values = WeightedMinHasher::Values(refreshed[i].sketch);
   });
   for (std::size_t i = 0; i < refresh.size(); ++i) {
     signatures_[refresh[i]] = std::move(refreshed[i]);
@@ -99,7 +114,7 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   } else {
     std::unordered_map<std::uint64_t, std::vector<KeywordId>> buckets;
     for (KeywordId k : update.bursty) {
-      for (std::uint64_t h : signatures_[k]) buckets[h].push_back(k);
+      for (std::uint64_t h : signatures_[k].values) buckets[h].push_back(k);
     }
     std::unordered_set<std::uint64_t> emitted;
     for (const auto& [h, members] : buckets) {
@@ -123,7 +138,8 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   std::vector<std::pair<KeywordId, KeywordId>> add_jobs;
   for (const auto& [a, b] : candidates) {
     if (akg_.HasEdge(a, b)) continue;
-    if (!PassesScreen(config_.ec_mode, signatures_[a], signatures_[b])) {
+    if (!PassesScreen(config_.ec_mode, signatures_[a].values,
+                      signatures_[b].values)) {
       continue;
     }
     add_jobs.emplace_back(a, b);
@@ -131,9 +147,9 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   std::vector<double> add_ecs(add_jobs.size());
   parallel_for_(add_jobs.size(), [&](std::size_t i) {
     const auto [a, b] = add_jobs[i];
-    add_ecs[i] = ComputeEc(config_.ec_mode, id_sets_, a, b,
-                           signatures_.at(a), signatures_.at(b),
-                           hasher_.p());
+    add_ecs[i] = ComputeEc(config_.ec_mode, config_.weighted_minhash,
+                           id_sets_, a, b, signatures_.at(a),
+                           signatures_.at(b), sketch_window_.hasher().p());
   });
   last_stats_.ec_computed += add_jobs.size();
   for (std::size_t i = 0; i < add_jobs.size(); ++i) {
@@ -171,9 +187,9 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
     const auto [a, b] = reval_jobs[i];
     // Both signatures may be stale for the untouched endpoint; EC is
     // computed from exact id sets except in kMinHashOnly mode.
-    reval_ecs[i] = ComputeEc(config_.ec_mode, id_sets_, a, b,
-                             signatures_.at(a), signatures_.at(b),
-                             hasher_.p());
+    reval_ecs[i] = ComputeEc(config_.ec_mode, config_.weighted_minhash,
+                             id_sets_, a, b, signatures_.at(a),
+                             signatures_.at(b), sketch_window_.hasher().p());
   });
   last_stats_.ec_computed += reval_jobs.size();
   for (std::size_t i = 0; i < reval_jobs.size(); ++i) {
@@ -213,11 +229,28 @@ void AkgBuilder::Save(BinaryWriter& out) const {
   std::sort(signed_keywords.begin(), signed_keywords.end());
   out.U64(signed_keywords.size());
   for (KeywordId keyword : signed_keywords) {
-    const MinHashSignature& sig = signatures_.at(keyword);
+    const KeywordSignature& sig = signatures_.at(keyword);
     out.U32(keyword);
-    out.U32(static_cast<std::uint32_t>(sig.size()));
-    for (std::uint64_t value : sig) out.U64(value);
+    out.U32(static_cast<std::uint32_t>(sig.values.size()));
+    for (std::uint64_t value : sig.values) out.U64(value);
+    if (config_.weighted_minhash) {
+      // One score per value, value-aligned: the realized weighted draws
+      // cannot be recomputed from the id sets (message counts are gone),
+      // so they ride along. Unweighted scores are a pure function of the
+      // value — the encoding above stays byte-identical to version 3.
+      for (std::uint64_t value : sig.values) {
+        double score = 0.0;
+        for (const SketchEntry& entry : sig.sketch) {
+          if (entry.key == value) {
+            score = entry.score;
+            break;
+          }
+        }
+        out.F64(score);
+      }
+    }
   }
+  if (config_.weighted_minhash) sketch_window_.Save(out);
 
   std::vector<Edge> ec_edges;
   ec_edges.reserve(edge_ec_.size());
@@ -244,6 +277,7 @@ bool AkgBuilder::Restore(BinaryReader& in) {
     akg_.Clear();
     edge_ec_.clear();
     signatures_.clear();
+    sketch_window_.Clear();
     last_stats_ = AkgQuantumStats{};
     now_ = 0;
   };
@@ -255,7 +289,7 @@ bool AkgBuilder::Restore(BinaryReader& in) {
     return false;
   }
 
-  const std::size_t p = hasher_.p();
+  const std::size_t p = sketch_window_.hasher().p();
   const std::uint64_t signatures = in.U64();
   bool valid = in.CheckLength(signatures, 4 + 4 + 8);
   for (std::uint64_t i = 0; valid && i < signatures; ++i) {
@@ -266,12 +300,56 @@ bool AkgBuilder::Restore(BinaryReader& in) {
       valid = false;
       break;
     }
-    MinHashSignature sig(length);
-    for (std::uint32_t j = 0; j < length; ++j) sig[j] = in.U64();
-    if (!in.ok() || !std::is_sorted(sig.begin(), sig.end()) ||
-        !signatures_.emplace(keyword, std::move(sig)).second) {
+    KeywordSignature sig;
+    sig.values.resize(length);
+    for (std::uint32_t j = 0; j < length; ++j) sig.values[j] = in.U64();
+    // Strictly ascending: the values are distinct sketch keys.
+    if (!in.ok() ||
+        std::adjacent_find(sig.values.begin(), sig.values.end(),
+                           std::greater_equal<std::uint64_t>()) !=
+            sig.values.end()) {
       valid = false;
       break;
+    }
+    if (config_.weighted_minhash) {
+      // Value-aligned realized scores; the sketch is the (key, score)
+      // pairs in sketch order.
+      if (!in.CheckLength(length, 8)) {
+        valid = false;
+        break;
+      }
+      sig.sketch.reserve(length);
+      for (std::uint32_t j = 0; j < length; ++j) {
+        const double score = in.F64();
+        if (!std::isfinite(score) || score < 0.0) {
+          valid = false;
+          break;
+        }
+        sig.sketch.push_back({sig.values[j], score});
+      }
+      if (!valid || !in.ok()) {
+        valid = false;
+        break;
+      }
+      std::sort(sig.sketch.begin(), sig.sketch.end(), SketchOrderLess);
+    } else {
+      sig.sketch = WeightedMinHasher::FromValues(sig.values);
+    }
+    if (!signatures_.emplace(keyword, std::move(sig)).second) {
+      valid = false;
+      break;
+    }
+  }
+
+  // The sketch ring: serialized in weighted mode, refolded from the id-set
+  // histories otherwise. Either way its depth must agree with the
+  // histories' — the two structures expire in lockstep.
+  if (valid) {
+    if (config_.weighted_minhash) {
+      valid = sketch_window_.Restore(in) &&
+              sketch_window_.depth() == id_sets_.HistoryDepth();
+    } else {
+      sketch_window_.RebuildFromHistory(id_sets_);
     }
   }
 

@@ -15,6 +15,7 @@
 #include "akg/minhash.h"
 #include "akg/node_state.h"
 #include "akg/quantum_aggregate.h"
+#include "akg/sketch_window.h"
 #include "common/binary_io.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
@@ -37,6 +38,12 @@ struct AkgConfig {
   EcMode ec_mode = EcMode::kMinHashScreenExactVerify;
   /// Seed of the Min-Hash function.
   std::uint64_t seed = 0x5ca1ab1eULL;
+  /// Weight Min-Hash sketches by per-user message count instead of mere
+  /// presence (the frequency dimension the paper's unweighted id sets
+  /// lack). Off by default: unweighted signatures are bit-identical to the
+  /// historical scheme, so golden traces stay valid. Changes the snapshot
+  /// encoding — weighted state needs container version >= 4.
+  bool weighted_minhash = false;
 };
 
 /// The per-quantum structural delta for the cluster maintainer. Application
@@ -113,6 +120,9 @@ class AkgBuilder {
   /// histories, node automaton, Min-Hash signatures, edge correlations
   /// (bit-exact doubles), the graph and the quantum clock — in canonical
   /// order. The hash function itself is config-derived and not stored.
+  /// Unweighted builders write the historical (version-3) encoding byte
+  /// for byte; weighted builders add per-signature scores and the sketch
+  /// ring (docs/formats.md, weighted signatures).
   void Save(BinaryWriter& out) const;
 
   /// Replaces this builder's state with Save()'s encoding. Must be called
@@ -126,10 +136,12 @@ class AkgBuilder {
   std::function<bool(KeywordId)> in_cluster_;
   UserIdSets id_sets_;
   NodeStateAutomaton node_state_;
-  MinHasher hasher_;
+  // Per-quantum sketch ring: window signatures come from its Combine tree,
+  // never from rehashing the folded window id set.
+  SketchWindow sketch_window_;
   graph::DynamicGraph akg_;
   std::unordered_map<graph::Edge, double, graph::EdgeHash> edge_ec_;
-  std::unordered_map<KeywordId, MinHashSignature> signatures_;
+  std::unordered_map<KeywordId, KeywordSignature> signatures_;
   AkgQuantumStats last_stats_;
   QuantumIndex now_ = 0;
 };

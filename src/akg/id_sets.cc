@@ -88,7 +88,7 @@ void UserIdSets::IngestAggregate(const QuantumAggregate& aggregate,
   // instead of re-scanning the whole aggregate.
   std::vector<std::vector<std::uint32_t>> owned(kIdSetShards);
   for (std::uint32_t i = 0; i < aggregate.keywords.size(); ++i) {
-    owned[ShardOf(aggregate.keywords[i].first)].push_back(i);
+    owned[ShardOf(aggregate.keywords[i].keyword)].push_back(i);
   }
   const auto ingest_shard = [&](std::size_t s) {
     Shard& shard = shards_[s];
@@ -96,8 +96,8 @@ void UserIdSets::IngestAggregate(const QuantumAggregate& aggregate,
     shard.last_quantum_keywords.clear();
     std::vector<std::pair<KeywordId, UserId>> compact;
     for (std::uint32_t i : owned[s]) {
-      const auto& [keyword, users] = aggregate.keywords[i];
-      FoldKeyword(shard, keyword, users, compact);
+      const QuantumAggregate::Entry& entry = aggregate.keywords[i];
+      FoldKeyword(shard, entry.keyword, entry.users, compact);
     }
     shard.history.push_back(std::move(compact));
     ExpireShard(shard);
@@ -150,6 +150,18 @@ double UserIdSets::Jaccard(KeywordId a, KeywordId b) const {
              ? 0.0
              : static_cast<double>(intersection) /
                    static_cast<double>(unioned);
+}
+
+void UserIdSets::VisitHistory(
+    const std::function<void(
+        std::size_t shard, std::size_t slot,
+        const std::vector<std::pair<KeywordId, UserId>>& pairs)>& visitor)
+    const {
+  for (std::size_t s = 0; s < kIdSetShards; ++s) {
+    for (std::size_t q = 0; q < shards_[s].history.size(); ++q) {
+      visitor(s, q, shards_[s].history[q]);
+    }
+  }
 }
 
 std::size_t UserIdSets::active_keywords() const {

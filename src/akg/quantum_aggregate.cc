@@ -13,11 +13,22 @@ QuantumAggregate CanonicalAggregate(
   aggregate.keywords.reserve(users_of.size());
   for (auto& [keyword, users] : users_of) {
     std::sort(users.begin(), users.end());
-    users.erase(std::unique(users.begin(), users.end()), users.end());
-    aggregate.keywords.emplace_back(keyword, std::move(users));
+    QuantumAggregate::Entry entry;
+    entry.keyword = keyword;
+    // Run-length over the sorted occurrence list: distinct users with their
+    // message counts.
+    for (std::size_t i = 0; i < users.size();) {
+      std::size_t j = i;
+      while (j < users.size() && users[j] == users[i]) ++j;
+      entry.users.push_back(users[i]);
+      entry.counts.push_back(static_cast<std::uint32_t>(j - i));
+      i = j;
+    }
+    aggregate.keywords.push_back(std::move(entry));
   }
-  std::sort(aggregate.keywords.begin(), aggregate.keywords.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(
+      aggregate.keywords.begin(), aggregate.keywords.end(),
+      [](const auto& a, const auto& b) { return a.keyword < b.keyword; });
   return aggregate;
 }
 

@@ -1,15 +1,16 @@
 // Canonical per-quantum ingest form: every keyword that occurred in the
-// quantum with its distinct users, keywords ascending, each user list
-// sorted ascending. Aggregates built from the same quantum compare equal no
-// matter how they were produced — serially (AggregateQuantum) or merged
-// from keyword shards (engine/parallel_detector.cc) — which is what makes
-// the parallel engine's reports bit-identical to the serial detector's.
+// quantum with its distinct users and their message counts, keywords
+// ascending, each user list sorted ascending. Aggregates built from the
+// same quantum compare equal no matter how they were produced — serially
+// (AggregateQuantum) or merged from keyword shards
+// (engine/parallel_detector.cc) — which is what makes the parallel
+// engine's reports bit-identical to the serial detector's.
 
 #ifndef SCPRT_AKG_QUANTUM_AGGREGATE_H_
 #define SCPRT_AKG_QUANTUM_AGGREGATE_H_
 
+#include <cstdint>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -17,17 +18,30 @@
 
 namespace scprt::akg {
 
-/// One quantum reduced to (keyword, distinct users) in canonical order.
+/// One quantum reduced to per-keyword occurrence lists in canonical order.
 struct QuantumAggregate {
+  /// One keyword's quantum occurrences: `users` sorted ascending and
+  /// distinct; `counts[i]` is the number of messages by `users[i]`
+  /// mentioning the keyword this quantum (>= 1). The counts are a pure
+  /// function of the quantum's (keyword, user) occurrence multiset, so
+  /// every build path produces identical values.
+  struct Entry {
+    KeywordId keyword = 0;
+    std::vector<UserId> users;
+    std::vector<std::uint32_t> counts;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
   QuantumIndex index = 0;
-  /// Sorted by keyword; each user vector sorted and de-duplicated.
-  std::vector<std::pair<KeywordId, std::vector<UserId>>> keywords;
+  /// Sorted by keyword.
+  std::vector<Entry> keywords;
 };
 
-/// Canonicalizes a raw keyword -> users gather (user lists may contain
-/// duplicates, in any order) into an aggregate. The single definition of
-/// the canonical form — AggregateQuantum and the engine's sharded reduce
-/// both end here, which is what keeps their outputs comparable.
+/// Canonicalizes a raw keyword -> users gather (user lists carry one entry
+/// per occurrence — duplicates become counts — in any order) into an
+/// aggregate. The single definition of the canonical form —
+/// AggregateQuantum and the engine's sharded reduce both end here, which
+/// is what keeps their outputs comparable.
 QuantumAggregate CanonicalAggregate(
     std::unordered_map<KeywordId, std::vector<UserId>>&& users_of,
     QuantumIndex index);

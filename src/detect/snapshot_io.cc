@@ -67,7 +67,7 @@ bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
 
 bool ReadFrame(std::istream& in, FrameKind expected_kind,
                std::string& payload, std::uint64_t* checkpoint_id,
-               LoadError* error) {
+               LoadError* error, std::uint32_t* frame_version) {
   SetError(error, LoadError::kCorrupt);
   char header_bytes[25];
   if (!in.read(header_bytes, sizeof(header_bytes))) {
@@ -112,6 +112,7 @@ bool ReadFrame(std::istream& in, FrameKind expected_kind,
   if (Crc32(body) != expected_crc) return false;
   payload = std::move(body);
   if (checkpoint_id != nullptr) *checkpoint_id = expected_crc;
+  if (frame_version != nullptr) *frame_version = version;
   SetError(error, LoadError::kNone);
   return true;
 }
@@ -208,9 +209,13 @@ void WriteConfig(BinaryWriter& out, const DetectorConfig& config) {
   out.U64(config.min_event_nodes);
   out.F64(config.min_rank_margin);
   out.U8(config.require_noun ? 1 : 0);
+  // Version 4: the weighted-Min-Hash switch rides at the end so a version-3
+  // payload is a strict prefix (absent flag = unweighted).
+  out.U8(config.akg.weighted_minhash ? 1 : 0);
 }
 
-bool ReadConfig(BinaryReader& in, DetectorConfig& config) {
+bool ReadConfig(BinaryReader& in, DetectorConfig& config,
+                std::uint32_t version) {
   DetectorConfig parsed;
   parsed.quantum_size = in.U64();
   parsed.akg.high_state_threshold = in.U32();
@@ -222,6 +227,7 @@ bool ReadConfig(BinaryReader& in, DetectorConfig& config) {
   parsed.min_event_nodes = in.U64();
   parsed.min_rank_margin = in.F64();
   const std::uint8_t require_noun = in.U8();
+  const std::uint8_t weighted = version >= 4 ? in.U8() : 0;
   // Constructor preconditions plus sanity ceilings — a corrupt config must
   // fail the load, not abort the process or reserve gigabytes.
   if (!in.ok() || parsed.quantum_size < 1 ||
@@ -231,12 +237,14 @@ bool ReadConfig(BinaryReader& in, DetectorConfig& config) {
       parsed.akg.window_length < 1 ||
       parsed.akg.window_length > kMaxWindowLength ||
       parsed.akg.minhash_size > kMaxMinHashSize || ec_mode > 2 ||
-      !std::isfinite(parsed.min_rank_margin) || require_noun > 1) {
+      !std::isfinite(parsed.min_rank_margin) || require_noun > 1 ||
+      weighted > 1) {
     in.Fail();
     return false;
   }
   parsed.akg.ec_mode = static_cast<akg::EcMode>(ec_mode);
   parsed.require_noun = require_noun != 0;
+  parsed.akg.weighted_minhash = weighted != 0;
   config = parsed;
   return true;
 }
@@ -324,13 +332,16 @@ bool ReadFullSnapshot(
   if (ingest_present != nullptr) *ingest_present = false;
   std::string payload;
   std::uint64_t id = 0;
-  if (!ReadFrame(in, FrameKind::kFull, payload, &id, error)) return false;
+  std::uint32_t version = kFormatVersion;
+  if (!ReadFrame(in, FrameKind::kFull, payload, &id, error, &version)) {
+    return false;
+  }
   SetError(error, LoadError::kCorrupt);
   BinaryReader reader(payload);
   DetectorConfig config;
-  if (!ReadConfig(reader, config)) return false;
+  if (!ReadConfig(reader, config, version)) return false;
   if (!restore_state(reader, config)) return false;
-  // Version-3 snapshots may carry a trailing IngestState section; a PR
+  // Version >= 3 snapshots may carry a trailing IngestState section; a PR
   // 2-era payload simply ends here and restores a bare detector.
   bool have_ingest = false;
   if (reader.remaining() != 0) {

@@ -4,7 +4,7 @@
 //
 //   offset  size  field
 //   0       8     magic "SCPRTSNP"
-//   8       4     format version (little-endian u32; currently 3)
+//   8       4     format version (little-endian u32; currently 4)
 //   12      1     kind: 1 = full snapshot, 2 = delta
 //   13      8     payload length in bytes (u64)
 //   21      4     CRC-32 (IEEE) of the payload bytes
@@ -35,10 +35,14 @@
 // Versioning policy and skew rules (the full table is docs/formats.md):
 // the container version bumps on ANY encoding change. Loaders accept
 // [kMinFormatVersion, kFormatVersion]; version 2 payloads are a strict
-// prefix of version 3's (no IngestState), so both parse through the same
-// path. Version 1 (the replay era) and future versions are rejected as
-// kVersionSkew — checkpoints are recovery artifacts, not archives, so
-// there is no migration: take a fresh full snapshot after upgrading.
+// prefix of version 3's (no IngestState), and version 4 appends one config
+// byte (the weighted-Min-Hash flag, absent = unweighted) plus — only when
+// that flag is set — weighted signature scores and the sketch ring inside
+// the detector-state section, so all three parse through the same path
+// keyed on the frame version. Version 1 (the replay era) and future
+// versions are rejected as kVersionSkew — checkpoints are recovery
+// artifacts, not archives, so there is no migration: take a fresh full
+// snapshot after upgrading.
 
 #ifndef SCPRT_DETECT_SNAPSHOT_IO_H_
 #define SCPRT_DETECT_SNAPSHOT_IO_H_
@@ -56,8 +60,10 @@
 namespace scprt::detect::snapshot_io {
 
 inline constexpr char kMagic[8] = {'S', 'C', 'P', 'R', 'T', 'S', 'N', 'P'};
-/// Current container version (written by every save).
-inline constexpr std::uint32_t kFormatVersion = 3;
+/// Current container version (written by every save). Version 4 added the
+/// weighted-Min-Hash config flag and, when set, the weighted signature
+/// encoding (docs/formats.md).
+inline constexpr std::uint32_t kFormatVersion = 4;
 /// Oldest container version still accepted by loaders (PR 2-era snapshots
 /// without an IngestState section).
 inline constexpr std::uint32_t kMinFormatVersion = 2;
@@ -137,11 +143,13 @@ bool WriteFrame(std::ostream& out, FrameKind kind, const std::string& payload,
 
 /// Reads and verifies one frame of the expected kind. Returns false on bad
 /// magic, version skew, kind mismatch, truncation or CRC failure (`error`,
-/// when non-null, receives the reason); `payload`/`checkpoint_id` are only
-/// written on success.
+/// when non-null, receives the reason); `payload`/`checkpoint_id`/`version`
+/// are only written on success. `version` (optional out) receives the
+/// container version the frame was written under — payload parsers key
+/// version-gated fields off it.
 bool ReadFrame(std::istream& in, FrameKind expected_kind,
                std::string& payload, std::uint64_t* checkpoint_id = nullptr,
-               LoadError* error = nullptr);
+               LoadError* error = nullptr, std::uint32_t* version = nullptr);
 
 /// Appends the IngestState trailing section (its own magic, section
 /// version, length and CRC — see docs/formats.md) to a payload.
@@ -174,8 +182,11 @@ void WriteConfig(BinaryWriter& out, const DetectorConfig& config);
 
 /// Parses and validates a configuration. Returns false if malformed or if
 /// any value would violate a constructor precondition (the loader must
-/// never feed a corrupt config into SCPRT_CHECK).
-bool ReadConfig(BinaryReader& in, DetectorConfig& config);
+/// never feed a corrupt config into SCPRT_CHECK). `version` is the
+/// container version of the enclosing frame: frames older than 4 predate
+/// the weighted-Min-Hash flag, which then reads as its default (false).
+bool ReadConfig(BinaryReader& in, DetectorConfig& config,
+                std::uint32_t version = kFormatVersion);
 
 /// Serializes a message list (count-prefixed).
 void WriteMessages(BinaryWriter& out,

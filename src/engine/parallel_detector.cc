@@ -1,12 +1,14 @@
 #include "engine/parallel_detector.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/parallel.h"
 #include "detect/snapshot_io.h"
 
 namespace scprt::engine {
@@ -191,22 +193,37 @@ akg::QuantumAggregate ParallelDetector::ShardAggregate(
     parts[s] = akg::CanonicalAggregate(std::move(users_of), quantum.index);
   });
 
+  // Phase C — tree-reduce merge: pairwise sorted merges of the shard
+  // outputs, each level running on the pool. Shards own disjoint keyword
+  // classes (k % shards), so every merge is a pure interleave of two sorted
+  // runs with no key collisions — associative and commutative, hence the
+  // same canonical order AggregateQuantum produces at any thread count and
+  // for any tree shape.
+  using Entries = std::vector<akg::QuantumAggregate::Entry>;
+  std::vector<Entries> runs(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    runs[s] = std::move(parts[s].keywords);
+  }
+  const auto merge_runs = [](Entries a, Entries b) {
+    Entries out;
+    out.reserve(a.size() + b.size());
+    std::merge(std::make_move_iterator(a.begin()),
+               std::make_move_iterator(a.end()),
+               std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()), std::back_inserter(out),
+               [](const akg::QuantumAggregate::Entry& x,
+                  const akg::QuantumAggregate::Entry& y) {
+                 return x.keyword < y.keyword;
+               });
+    return out;
+  };
   akg::QuantumAggregate aggregate;
   aggregate.index = quantum.index;
-  std::size_t total = 0;
-  for (const akg::QuantumAggregate& part : parts) {
-    total += part.keywords.size();
-  }
-  aggregate.keywords.reserve(total);
-  for (akg::QuantumAggregate& part : parts) {
-    for (auto& entry : part.keywords) {
-      aggregate.keywords.push_back(std::move(entry));
-    }
-  }
-  // Shards interleave keyword ids (k % shards), so a full sort restores the
-  // canonical order AggregateQuantum produces.
-  std::sort(aggregate.keywords.begin(), aggregate.keywords.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  aggregate.keywords = TreeReduce(
+      std::move(runs), merge_runs,
+      [this](std::size_t n, const std::function<void(std::size_t)>& body) {
+        pool_.ParallelFor(n, body);
+      });
   return aggregate;
 }
 

@@ -9,7 +9,8 @@
 //                                per-shard SPSC queues), then each shard
 //                                reduces its keywords to (keyword,
 //                                distinct users);
-//   2. merge       (serial)    — shard outputs concatenate and sort into
+//   2. merge       (parallel)  — shard outputs tree-reduce (pairwise
+//                                sorted merges, common/parallel.h) into
 //                                the canonical QuantumAggregate;
 //   3. graph + SCP (serial core, parallel hot loops) — the AKG builder
 //                                batches Min-Hash signature refreshes and

@@ -197,6 +197,36 @@ TEST(MinHashTest, SmallSetSignature) {
   EXPECT_TRUE(hasher.Signature({}).empty());
 }
 
+TEST(MinHashTest, RepeatedIdsCollapseToOneSlot) {
+  // Regression: a duplicated id used to occupy two bottom-p slots, pushing
+  // a genuinely distinct user out of the signature.
+  MinHasher hasher(3, 42);
+  const auto with_dups =
+      hasher.Signature({5, 5, 5, 9, 9, 13, 5, 13, 21, 21});
+  const auto distinct = hasher.Signature({5, 9, 13, 21});
+  EXPECT_EQ(with_dups, distinct);
+  ASSERT_EQ(with_dups.size(), 3u);
+  EXPECT_LT(with_dups[0], with_dups[1]);
+  EXPECT_LT(with_dups[1], with_dups[2]);
+  // With only two distinct ids the signature has two slots, not three.
+  EXPECT_EQ(hasher.Signature({8, 8, 8, 8, 8, 3}).size(), 2u);
+}
+
+TEST(MinHashTest, SmallSetEstimateIsExact) {
+  // When both signatures are complete sets (|A|, |B| < p), the bottom-p of
+  // the union is the whole union and the estimate is the exact Jaccard —
+  // the `shared/taken` ratio must not truncate the union sample early.
+  MinHasher hasher(8, 1234);
+  const auto a = hasher.Signature({1, 2, 3});
+  const auto b = hasher.Signature({2, 3, 4, 5});
+  // |A n B| = 2, |A u B| = 5.
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(a, b, 8), 2.0 / 5.0);
+  const auto lone = hasher.Signature({77});
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(lone, lone, 8), 1.0);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(a, hasher.Signature({9}), 8),
+                   0.0);
+}
+
 TEST(MinHashTest, IdenticalSetsShareAllValues) {
   MinHasher hasher(4, 7);
   std::vector<UserId> users = {10, 20, 30, 40, 50};
@@ -246,11 +276,28 @@ TEST(MinHashTest, EstimateTracksExactJaccard) {
 }
 
 TEST(MinHashTest, DefaultSizeFollowsPaperFormula) {
-  // min(theta/2, ceil(1/gamma)) clamped to [2, 16].
-  EXPECT_EQ(DefaultMinHashSize(4, 0.20), 2u);   // min(2, 5)
-  EXPECT_EQ(DefaultMinHashSize(16, 0.20), 5u);  // min(8, 5)
-  EXPECT_EQ(DefaultMinHashSize(2, 0.5), 2u);    // clamp up from 1
-  EXPECT_EQ(DefaultMinHashSize(100, 0.01), 16u);  // clamp down
+  // min(ceil(theta/2), ceil(1/gamma)) clamped to [2, 16]. Both terms round
+  // UP: the paper's real-valued formula is a resolution floor, so an odd
+  // theta takes the extra slot rather than dropping one.
+  struct Row {
+    std::uint32_t theta;
+    double gamma;
+    std::size_t expected;
+  };
+  const Row rows[] = {
+      {4, 0.20, 2},     // min(2, 5)
+      {16, 0.20, 5},    // min(8, 5)
+      {2, 0.5, 2},      // clamp up from 1
+      {100, 0.01, 16},  // clamp down
+      {5, 0.20, 3},     // ceil(5/2) = 3, not floor = 2
+      {3, 0.1, 2},      // ceil(3/2) = 2
+      {7, 0.25, 4},     // min(ceil(7/2), 4) = 4
+      {9, 0.30, 4},     // ceil(1/0.3) = 4 < ceil(9/2) = 5
+  };
+  for (const Row& row : rows) {
+    EXPECT_EQ(DefaultMinHashSize(row.theta, row.gamma), row.expected)
+        << "theta=" << row.theta << " gamma=" << row.gamma;
+  }
 }
 
 // --- AkgBuilder end-to-end on handcrafted quanta ---

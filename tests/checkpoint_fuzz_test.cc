@@ -75,6 +75,34 @@ std::unique_ptr<detect::EventDetector> LoadBytes(const std::string& bytes) {
   return detect::LoadCheckpoint(in, &SharedFixture().trace.dictionary);
 }
 
+// Rewrites a current (version-4, unweighted) full frame as the byte-exact
+// legacy encoding `version` wrote: version 4 appended the weighted-Min-Hash
+// flag at config offset 62, so dropping that byte and refreshing the
+// header's version, length and payload-CRC fields reproduces what the
+// version 2/3 serializers emitted (a v2 payload is a strict prefix of v3's:
+// no IngestState section — the fixture's bare save has none).
+std::string AsLegacyVersion(std::string bytes, std::uint8_t version) {
+  constexpr std::size_t kHeaderSize = 25;
+  constexpr std::size_t kWeightedFlagOffset = kHeaderSize + 62;
+  EXPECT_EQ(bytes[kWeightedFlagOffset], 0) << "fixture must be unweighted";
+  bytes.erase(kWeightedFlagOffset, 1);
+  bytes[8] = static_cast<char>(version);
+  std::uint64_t length = 0;
+  for (int i = 7; i >= 0; --i) {
+    length = (length << 8) | static_cast<unsigned char>(bytes[13 + i]);
+  }
+  --length;
+  for (int i = 0; i < 8; ++i) {
+    bytes[13 + i] = static_cast<char>(length >> (8 * i));
+  }
+  const std::uint32_t crc =
+      Crc32(std::string_view(bytes).substr(kHeaderSize));
+  for (int i = 0; i < 4; ++i) {
+    bytes[21 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  return bytes;
+}
+
 TEST(CheckpointFuzzTest, ValidFixtureLoads) {
   ASSERT_NE(LoadBytes(SharedFixture().full_bytes), nullptr);
 }
@@ -99,27 +127,26 @@ TEST(CheckpointFuzzTest, EverySingleBitFlipIsRejected) {
   const std::string& bytes = SharedFixture().full_bytes;
   // Dense sweep over the frame header and the payload head, strided sweep
   // over the rest; CRC-32 detects any single-bit error. Offset 8 is the
-  // version field's low byte: flipping bit 0 turns version 3 into version
-  // 2, which is *accepted by design* (PR 2-era compatibility — the
-  // payload without an IngestState section is identical in both), so that
-  // one offset is asserted separately below.
+  // version field's low byte: every single-bit flip of version 4 lands
+  // outside the accepted [2, 4] range, so no offset is exempt. Legacy
+  // versions stay loadable, but only through their genuine encodings —
+  // asserted separately below via AsLegacyVersion.
   std::vector<std::size_t> offsets;
   for (std::size_t i = 0; i < 256 && i < bytes.size(); ++i) {
     offsets.push_back(i);
   }
   for (std::size_t i = 256; i < bytes.size(); i += 97) offsets.push_back(i);
   for (std::size_t offset : offsets) {
-    if (offset == 8) continue;
     std::string corrupt = bytes;
     corrupt[offset] = static_cast<char>(
         static_cast<unsigned char>(corrupt[offset]) ^ (1u << (offset % 8)));
     EXPECT_EQ(LoadBytes(corrupt), nullptr)
         << "bit flip at byte " << offset << " survived";
   }
-  std::string as_v2 = bytes;
-  as_v2[8] = static_cast<char>(2);
-  EXPECT_NE(LoadBytes(as_v2), nullptr)
+  EXPECT_NE(LoadBytes(AsLegacyVersion(bytes, 2)), nullptr)
       << "version 2 (PR 2-era) snapshot must still load";
+  EXPECT_NE(LoadBytes(AsLegacyVersion(bytes, 3)), nullptr)
+      << "version 3 (pre-weighted) snapshot must still load";
 }
 
 TEST(CheckpointFuzzTest, VersionAndKindSkewAreRejected) {
@@ -542,8 +569,9 @@ TEST(CheckpointFuzzTest, DeltaWithIngestSectionIsCoveredByItsCrc) {
   for (int round = 0; round < 96; ++round) {
     std::string corrupt = delta_bytes;
     const std::size_t offset = rng.UniformInt(corrupt.size());
-    // Offset 8 is the version byte, where 3 -> 2 is legal by design.
-    if (offset == 8) continue;
+    // Offset 8 is the version byte: a delta frame has no config section,
+    // so a relabel to 2 or 3 would still parse — but no single-bit flip
+    // of version 4 lands inside [2, 4], so every offset must reject.
     corrupt[offset] = static_cast<char>(
         static_cast<unsigned char>(corrupt[offset]) ^
         (1u << rng.UniformInt(8)));

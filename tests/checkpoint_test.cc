@@ -82,6 +82,65 @@ TEST(CheckpointTest, RoundTripIsBitIdentical) {
   }
 }
 
+TEST(CheckpointTest, WeightedMinHashRoundTripIsBitIdentical) {
+  // Weighted sketches add state a snapshot must carry verbatim: the
+  // realized per-signature scores and the per-quantum sketch ring (the
+  // exponential draws depend on message counts the id sets no longer
+  // have). Save mid-stream, restore serially AND into the 4-thread
+  // engine, and require the tail reports bit-identical to an
+  // uninterrupted weighted run.
+  const stream::SyntheticTrace trace = SmallTrace();
+  DetectorConfig config = SmallConfig();
+  config.akg.weighted_minhash = true;
+  config.akg.ec_mode = akg::EcMode::kMinHashOnly;
+  const std::size_t split = trace.messages.size() / 2;
+
+  EventDetector reference(config, &trace.dictionary);
+  std::vector<QuantumReport> ref_tail;
+  for (std::size_t i = 0; i < trace.messages.size(); ++i) {
+    auto report = reference.Push(trace.messages[i]);
+    if (report && i >= split) ref_tail.push_back(*std::move(report));
+  }
+  ASSERT_GT(ref_tail.size(), 10u);
+
+  EventDetector first_half(config, &trace.dictionary);
+  for (std::size_t i = 0; i < split; ++i) {
+    first_half.Push(trace.messages[i]);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCheckpoint(first_half, buffer));
+  const std::string bytes = buffer.str();
+
+  auto restored = LoadCheckpoint(buffer, &trace.dictionary);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(restored->config().akg.weighted_minhash);
+  std::vector<QuantumReport> serial_tail;
+  for (std::size_t i = split; i < trace.messages.size(); ++i) {
+    if (auto report = restored->Push(trace.messages[i])) {
+      serial_tail.push_back(*std::move(report));
+    }
+  }
+  ASSERT_EQ(serial_tail.size(), ref_tail.size());
+  for (std::size_t i = 0; i < ref_tail.size(); ++i) {
+    EXPECT_EQ(serial_tail[i], ref_tail[i]) << "serial tail report " << i;
+  }
+
+  std::stringstream engine_in(bytes);
+  auto engine = engine::ParallelDetector::LoadCheckpoint(
+      engine_in, &trace.dictionary, /*threads=*/4);
+  ASSERT_NE(engine, nullptr);
+  std::vector<QuantumReport> engine_tail;
+  for (std::size_t i = split; i < trace.messages.size(); ++i) {
+    if (auto report = engine->Push(trace.messages[i])) {
+      engine_tail.push_back(*std::move(report));
+    }
+  }
+  ASSERT_EQ(engine_tail.size(), ref_tail.size());
+  for (std::size_t i = 0; i < ref_tail.size(); ++i) {
+    EXPECT_EQ(engine_tail[i], ref_tail[i]) << "engine tail report " << i;
+  }
+}
+
 TEST(CheckpointTest, StableIdsAndNoNewRefire) {
   const stream::SyntheticTrace trace = SmallTrace();
   const DetectorConfig config = SmallConfig();

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "detect/checkpoint.h"
 #include "detect/detector.h"
 #include "detect/report.h"
@@ -484,31 +485,59 @@ std::unique_ptr<detect::EventDetector> WarmDetector(
   return detector;
 }
 
+// Rewrites a current (version-4, unweighted) bare full frame as the
+// byte-exact legacy encoding `version` wrote: version 4 appended the
+// weighted-Min-Hash flag at config offset 62, so dropping that byte and
+// refreshing the header's version, length and payload-CRC fields
+// reproduces what the version 2/3 serializers emitted (without an
+// IngestState section the two legacy payloads are identical).
+std::string AsLegacyVersion(std::string bytes, std::uint8_t version) {
+  constexpr std::size_t kHeaderSize = 25;
+  constexpr std::size_t kWeightedFlagOffset = kHeaderSize + 62;
+  EXPECT_EQ(bytes[kWeightedFlagOffset], 0) << "fixture must be unweighted";
+  bytes.erase(kWeightedFlagOffset, 1);
+  bytes[8] = static_cast<char>(version);
+  std::uint64_t length = 0;
+  for (int i = 7; i >= 0; --i) {
+    length = (length << 8) | static_cast<unsigned char>(bytes[13 + i]);
+  }
+  --length;
+  for (int i = 0; i < 8; ++i) {
+    bytes[13 + i] = static_cast<char>(length >> (8 * i));
+  }
+  const std::uint32_t crc =
+      Crc32(std::string_view(bytes).substr(kHeaderSize));
+  for (int i = 0; i < 4; ++i) {
+    bytes[21 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  return bytes;
+}
+
 TEST(SnapshotCompatTest, Pr2EraVersion2SnapshotRestoresABareDetector) {
   const stream::SyntheticTrace trace = SmallTrace(41);
   const detect::DetectorConfig config = SmallDetectorConfig();
   const auto detector = WarmDetector(trace, config);
 
-  // A bare save (no IngestState section) re-labeled as container version
-  // 2 is byte-for-byte what PR 2 wrote: the version lives in the header
-  // (outside the payload CRC) and the v3 payload without the optional
-  // trailing section is identical to a v2 payload.
+  // A bare save (no IngestState section) rewritten to the legacy encoding
+  // is byte-for-byte what PR 2 (version 2) and the pre-weighted era
+  // (version 3) wrote; both must restore a bare detector.
   std::stringstream out;
   ASSERT_TRUE(detect::SaveCheckpoint(*detector, out));
-  std::string bytes = out.str();
-  ASSERT_EQ(bytes[8], 3);
-  bytes[8] = 2;
+  ASSERT_EQ(out.str()[8], 4);
 
-  std::stringstream in(bytes);
-  sio::LoadError error = sio::LoadError::kCorrupt;
-  sio::IngestState ingest;
-  bool ingest_present = true;
-  const auto restored = detect::LoadCheckpoint(
-      in, &trace.dictionary, nullptr, &error, &ingest, &ingest_present);
-  ASSERT_NE(restored, nullptr);
-  EXPECT_EQ(error, sio::LoadError::kNone);
-  EXPECT_FALSE(ingest_present);
-  EXPECT_EQ(restored->next_quantum_index(), detector->next_quantum_index());
+  for (const std::uint8_t version : {std::uint8_t{2}, std::uint8_t{3}}) {
+    std::stringstream in(AsLegacyVersion(out.str(), version));
+    sio::LoadError error = sio::LoadError::kCorrupt;
+    sio::IngestState ingest;
+    bool ingest_present = true;
+    const auto restored = detect::LoadCheckpoint(
+        in, &trace.dictionary, nullptr, &error, &ingest, &ingest_present);
+    ASSERT_NE(restored, nullptr) << "version " << int(version);
+    EXPECT_EQ(error, sio::LoadError::kNone);
+    EXPECT_FALSE(ingest_present);
+    EXPECT_EQ(restored->next_quantum_index(),
+              detector->next_quantum_index());
+  }
 }
 
 TEST(SnapshotCompatTest, VersionSkewIsTypedNotGenericFailure) {
@@ -517,7 +546,7 @@ TEST(SnapshotCompatTest, VersionSkewIsTypedNotGenericFailure) {
   std::stringstream out;
   ASSERT_TRUE(detect::SaveCheckpoint(*detector, out));
 
-  for (const char version : {char(1), char(4)}) {
+  for (const char version : {char(1), char(sio::kFormatVersion + 1)}) {
     std::string bytes = out.str();
     bytes[8] = version;
     std::stringstream in(bytes);

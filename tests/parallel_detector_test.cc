@@ -94,6 +94,31 @@ TEST(ParallelDetectorTest, MatchesSerialDetectorAt1_2_8Threads) {
   }
 }
 
+TEST(ParallelDetectorTest, WeightedModeMatchesSerialAt1_2_8Threads) {
+  // The weighted sketches change which edges the kMinHashOnly estimate
+  // admits, but not the determinism contract: reports must stay
+  // bit-identical to the serial weighted detector at every thread count
+  // (the per-quantum sketch ring merges by tree reduction either way).
+  const stream::SyntheticTrace trace = SmallTrace();
+  detect::DetectorConfig config;
+  config.quantum_size = 160;
+  config.akg.weighted_minhash = true;
+  config.akg.ec_mode = akg::EcMode::kMinHashOnly;
+
+  detect::EventDetector serial(config, &trace.dictionary);
+  const std::vector<QuantumReport> expected = serial.Run(trace.messages);
+  ASSERT_GT(expected.size(), 100u);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ParallelDetectorConfig pconfig;
+    pconfig.detector = config;
+    pconfig.threads = threads;
+    ParallelDetector parallel(pconfig, &trace.dictionary);
+    ExpectReportsEqual(expected, parallel.Run(trace.messages));
+  }
+}
+
 TEST(ParallelDetectorTest, FormattedReportsAreByteIdentical) {
   const stream::SyntheticTrace trace = SmallTrace();
   detect::DetectorConfig config;
