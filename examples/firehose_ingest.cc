@@ -15,14 +15,21 @@
 // directory + source cursor, and the stitched report stream must be
 // bit-identical to Act 1's uninterrupted run.
 //
-//   $ ./firehose_ingest [seed]
+//   $ ./firehose_ingest [seed] [--trace-out spans.json]
+//
+// --trace-out captures the per-quantum span hierarchy of Act 1 (quantum →
+// aggregate → shard.detect / detect.core) as Chrome about:tracing JSON —
+// load it at chrome://tracing or ui.perfetto.dev.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +39,8 @@
 #include "ingest/durable.h"
 #include "ingest/pipeline.h"
 #include "ingest/source.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "stream/quantizer.h"
 #include "stream/synthetic.h"
 #include "text/concurrent_dictionary.h"
@@ -39,8 +48,16 @@
 using namespace scprt;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+  std::uint64_t seed = 2026;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::Default().Enable();
 
   stream::SyntheticConfig trace_config = stream::TimeWindowPreset(seed);
   trace_config.num_messages = 60'000;
@@ -84,7 +101,10 @@ int main(int argc, char** argv) {
         }
       });
 
-  // A dashboard thread watching the live counters mid-flight.
+  // A dashboard thread watching the live counters mid-flight: the ingest
+  // facade for the headline line, plus the process-wide obs registry for
+  // per-stage latency percentiles — the same numbers a Prometheus scrape
+  // of Registry::SnapshotAll().FormatPrometheus() would export.
   std::atomic<bool> running{true};
   std::jthread monitor([&] {
     while (running.load(std::memory_order_acquire)) {
@@ -92,6 +112,20 @@ int main(int argc, char** argv) {
       const ingest::IngestSnapshot live = pipeline.metrics().Snapshot();
       if (live.records_read == 0) continue;
       std::printf("  ... live: %s\n", live.Format().c_str());
+      const obs::RegistrySnapshot reg =
+          obs::Registry::Default().SnapshotAll();
+      const obs::HistogramSnapshot* agg =
+          reg.FindHistogram("engine.aggregate_ns");
+      const obs::HistogramSnapshot* detect =
+          reg.FindHistogram("ingest.quantum_process_ns");
+      if (agg != nullptr && agg->count > 0 && detect != nullptr &&
+          detect->count > 0) {
+        std::printf(
+            "  ... stages: quantum p95 %.0f us (aggregate p95 %.0f us), "
+            "shard imbalance %.2f\n",
+            detect->Percentile(0.95) / 1e3, agg->Percentile(0.95) / 1e3,
+            reg.GaugeValue("engine.shard_imbalance"));
+      }
     }
   });
 
@@ -102,8 +136,34 @@ int main(int argc, char** argv) {
   monitor.join();
 
   std::printf("\ndone: %s\n", stats.Format().c_str());
-  std::printf("%zu events discovered, vocabulary %zu keywords\n\n",
+  std::printf("%zu events discovered, vocabulary %zu keywords\n",
               discovered, dictionary.size());
+
+  // Per-stage latency distribution of the run, straight from the obs
+  // registry — the operator's answer to "where did the quantum go?".
+  {
+    const obs::RegistrySnapshot reg = obs::Registry::Default().SnapshotAll();
+    std::printf("stage latencies (us):\n");
+    for (const char* name :
+         {"ingest.quantum_process_ns", "engine.aggregate_ns",
+          "engine.route_ns", "engine.reduce_ns", "engine.merge_ns",
+          "engine.shard_detect_ns", "akg.sketch_ingest_ns",
+          "akg.signature_refresh_ns"}) {
+      const obs::HistogramSnapshot* h = reg.FindHistogram(name);
+      if (h == nullptr || h->count == 0) continue;
+      std::printf("  %-26s p50 %8.1f  p95 %8.1f  max %8.1f  (n=%llu)\n",
+                  name, h->Percentile(0.50) / 1e3, h->Percentile(0.95) / 1e3,
+                  static_cast<double>(h->max) / 1e3,
+                  static_cast<unsigned long long>(h->count));
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << obs::Tracer::Default().DrainJson() << "\n";
+    std::printf("trace: wrote act-1 spans -> %s\n", trace_out.c_str());
+    obs::Tracer::Default().Disable();
+  }
+  std::printf("\n");
 
   // Proof the raw-text path is lossless: the same stream, pre-tokenized
   // through the generator's own dictionary, must produce bit-identical

@@ -5,9 +5,14 @@
 //
 //   scprt_cli run <in.trace> [--delta N] [--gamma F] [--theta N] [--w N]
 //                 [--top N] [--stories] [--suppress-spurious] [--threads N]
+//                 [--metrics-json FILE] [--trace-out FILE]
 //       Run the detector over a saved trace, print the event feed and the
 //       final precision/recall against the trace's ground truth.
 //       --threads > 1 runs the sharded engine (identical reports).
+//       --metrics-json dumps the full obs registry (per-stage latency
+//       histograms and counters) at exit; --trace-out writes the
+//       per-quantum span trace as Chrome about:tracing JSON. See
+//       docs/observability.md.
 //
 //   scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] [--workers N]
 //                 [--threads N] [--policy block|drop|sample]
@@ -17,7 +22,7 @@
 //                 [--durability-dir DIR] [--durability-backend snapshot|wal]
 //                 [--durability-fsync none|interval|commit]
 //                 [--durability-cadence K] [--durability-seconds T]
-//                 [--durability-full-every N] [--resume]
+//                 [--durability-full-every N] [--resume] [--trace-out FILE]
 //       Stream raw text (JSON-lines or TSV; "-" reads stdin) through the
 //       parallel tokenize/intern frontend into the sharded detector and
 //       print events as they are discovered, plus final ingest metrics.
@@ -57,6 +62,8 @@
 #include "ingest/durable.h"
 #include "ingest/pipeline.h"
 #include "ingest/text_export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "stream/synthetic.h"
 #include "stream/trace.h"
 #include "text/concurrent_dictionary.h"
@@ -80,7 +87,8 @@ int Usage() {
                "[--messages N]\n"
                "  scprt_cli run <in.trace> [--delta N] [--gamma F] "
                "[--theta N] [--w N] [--top N] [--stories] "
-               "[--suppress-spurious] [--threads N]\n"
+               "[--suppress-spurious] [--threads N] [--metrics-json FILE] "
+               "[--trace-out FILE]\n"
                "  scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] "
                "[--workers N] [--threads N] [--policy block|drop|sample] "
                "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
@@ -89,7 +97,7 @@ int Usage() {
                "[--durability-backend snapshot|wal] "
                "[--durability-fsync none|interval|commit] "
                "[--durability-cadence K] [--durability-seconds T] "
-               "[--durability-full-every N] [--resume]\n"
+               "[--durability-full-every N] [--resume] [--trace-out FILE]\n"
                "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
                "  scprt_cli info <in.trace>\n");
   return 2;
@@ -123,6 +131,39 @@ Args Parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --trace-out: arm the span tracer before the run starts.
+void MaybeEnableTracing(const Args& args) {
+  if (args.Has("trace-out")) obs::Tracer::Default().Enable();
+}
+
+// --trace-out: drain captured spans into Chrome about:tracing JSON.
+bool MaybeWriteTrace(const Args& args) {
+  if (!args.Has("trace-out")) return true;
+  return WriteTextFile(args.Get("trace-out", ""),
+                       obs::Tracer::Default().DrainJson());
+}
+
+// Splices the obs-registry flat JSON into the ingest snapshot's object so
+// --metrics-json stays one flat document (registry keys are ingest_/
+// engine_/wal_-prefixed; the snapshot's are bare — no collisions).
+std::string MergedMetricsJson(const std::string& snapshot_json) {
+  const std::string registry_json =
+      obs::Registry::Default().SnapshotAll().FormatJson();
+  if (registry_json.size() <= 2) return snapshot_json;  // registry empty
+  return snapshot_json.substr(0, snapshot_json.size() - 1) + ", " +
+         registry_json.substr(1);
 }
 
 int CmdGen(const Args& args) {
@@ -200,6 +241,7 @@ int CmdRun(const Args& args) {
   engine_config.threads = std::stoul(args.Get("threads", "1"));
   engine::ParallelDetector detector(engine_config, &trace.dictionary);
   detect::SpuriousSuppressor suppressor(3);
+  MaybeEnableTracing(args);
   std::vector<detect::QuantumReport> reports;
   for (const stream::Message& m : trace.messages) {
     auto report = detector.Push(m);
@@ -256,6 +298,12 @@ int CmdRun(const Args& args) {
       "%zu/%zu events)\n",
       m.precision, m.recall, m.f1, m.clusters_reported, m.events_discovered,
       m.events_planted);
+  if (args.Has("metrics-json") &&
+      !WriteTextFile(args.Get("metrics-json", ""),
+                     obs::Registry::Default().SnapshotAll().FormatJson())) {
+    return 1;
+  }
+  if (!MaybeWriteTrace(args)) return 1;
   return 0;
 }
 
@@ -332,6 +380,7 @@ int CmdIngest(const Args& args) {
   engine::ParallelDetectorConfig engine_config;
   engine_config.detector = DetectorConfigFromArgs(args);
   engine_config.threads = std::stoul(args.Get("threads", "1"));
+  MaybeEnableTracing(args);
 
   // --durability-dir switches to the durable session: the chosen backend
   // commits at quantum boundaries, and with --resume the run continues
@@ -456,15 +505,12 @@ int CmdIngest(const Args& args) {
                   static_cast<unsigned long long>(session.replayed_quanta()));
     }
     std::printf("vocabulary: %zu keywords\n", session.dictionary().size());
-    if (args.Has("metrics-json")) {
-      std::ofstream out(args.Get("metrics-json", ""));
-      out << snapshot->FormatJson() << "\n";
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     args.Get("metrics-json", "").c_str());
-        return 1;
-      }
+    if (args.Has("metrics-json") &&
+        !WriteTextFile(args.Get("metrics-json", ""),
+                       MergedMetricsJson(snapshot->FormatJson()))) {
+      return 1;
     }
+    if (!MaybeWriteTrace(args)) return 1;
     if (session.checkpoint_failures() > 0) {
       // The stream itself was processed; exit 3 flags that the recovery
       // point is older than the output suggests.
@@ -505,15 +551,12 @@ int CmdIngest(const Args& args) {
   std::printf("\ningest: %s\n", stats.Format().c_str());
   std::printf("vocabulary: %zu keywords, %zu workers, %zu engine threads\n",
               dictionary.size(), pipeline.workers(), detector.threads());
-  if (args.Has("metrics-json")) {
-    std::ofstream out(args.Get("metrics-json", ""));
-    out << stats.FormatJson() << "\n";
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   args.Get("metrics-json", "").c_str());
-      return 1;
-    }
+  if (args.Has("metrics-json") &&
+      !WriteTextFile(args.Get("metrics-json", ""),
+                     MergedMetricsJson(stats.FormatJson()))) {
+    return 1;
   }
+  if (!MaybeWriteTrace(args)) return 1;
   return 0;
 }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scprt::akg {
 
@@ -53,8 +55,16 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   // --- 1. Ingest the quantum's (keyword, user) aggregate into id sets and
   //        the per-quantum sketch ring; both folds + expiries run
   //        keyword-shard-parallel ---
-  id_sets_.IngestAggregate(aggregate, parallel_for_);
-  sketch_window_.Ingest(aggregate, parallel_for_);
+  {
+    // Sketch-ring ingest cost (id-set fold + per-quantum Min-Hash build);
+    // batch-level timing only — per-keyword clocks would swamp the work.
+    static obs::Histogram* const sketch_hist =
+        obs::Registry::Default().GetHistogram("akg.sketch_ingest_ns");
+    obs::ScopedSpan span("akg.sketch");
+    obs::ScopedHistogramTimer timer(sketch_hist);
+    id_sets_.IngestAggregate(aggregate, parallel_for_);
+    sketch_window_.Ingest(aggregate, parallel_for_);
+  }
 
   // --- 2. Node state transitions (Section 3.1) ---
   std::vector<std::pair<KeywordId, std::uint32_t>> quantum_keywords;
@@ -93,10 +103,18 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   refresh.insert(refresh.end(), update.seen_in_akg.begin(),
                  update.seen_in_akg.end());
   std::vector<KeywordSignature> refreshed(refresh.size());
-  parallel_for_(refresh.size(), [&](std::size_t i) {
-    refreshed[i].sketch = sketch_window_.WindowSketch(refresh[i]);
-    refreshed[i].values = WeightedMinHasher::Values(refreshed[i].sketch);
-  });
+  {
+    // Window-sketch Combine-tree cost for the whole refresh batch — the
+    // per-quantum merge bill of the sketch window.
+    static obs::Histogram* const refresh_hist =
+        obs::Registry::Default().GetHistogram("akg.signature_refresh_ns");
+    obs::ScopedSpan span("akg.refresh");
+    obs::ScopedHistogramTimer timer(refresh_hist);
+    parallel_for_(refresh.size(), [&](std::size_t i) {
+      refreshed[i].sketch = sketch_window_.WindowSketch(refresh[i]);
+      refreshed[i].values = WeightedMinHasher::Values(refreshed[i].sketch);
+    });
+  }
   for (std::size_t i = 0; i < refresh.size(); ++i) {
     signatures_[refresh[i]] = std::move(refreshed[i]);
   }

@@ -10,6 +10,8 @@
 #include "common/binary_io.h"
 #include "common/parallel.h"
 #include "detect/snapshot_io.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scprt::engine {
 namespace {
@@ -47,8 +49,11 @@ detect::QuantumReport ParallelDetector::ProcessQuantum(
   if (quantizer_.next_index() <= quantum.index) {
     quantizer_.SetNextIndex(quantum.index + 1);
   }
-  return detector_.ProcessQuantumWithAggregate(quantum,
-                                               ShardAggregate(quantum));
+  const akg::QuantumAggregate aggregate = ShardAggregate(quantum);
+  // Core detection (AKG update, clustering, ranking) as its own span so a
+  // trace separates aggregation cost from detection cost per quantum.
+  obs::ScopedSpan span("detect.core");
+  return detector_.ProcessQuantumWithAggregate(quantum, aggregate);
 }
 
 std::vector<detect::QuantumReport> ParallelDetector::Run(
@@ -158,6 +163,27 @@ void ParallelDetector::ApplyValidatedDelta(
 
 akg::QuantumAggregate ParallelDetector::ShardAggregate(
     const stream::Quantum& quantum) {
+  // Stage instrumentation: clock reads and relaxed stat writes only — no
+  // ordering, no branching on data — so the aggregate stays bit-identical
+  // with observability on or off (parallel_detector_test holds this).
+  obs::Registry& reg = obs::Registry::Default();
+  static obs::Histogram* const aggregate_hist =
+      reg.GetHistogram("engine.aggregate_ns");
+  static obs::Histogram* const route_hist =
+      reg.GetHistogram("engine.route_ns");
+  static obs::Histogram* const reduce_hist =
+      reg.GetHistogram("engine.reduce_ns");
+  static obs::Histogram* const merge_hist =
+      reg.GetHistogram("engine.merge_ns");
+  static obs::Histogram* const shard_detect_hist =
+      reg.GetHistogram("engine.shard_detect_ns");
+  static obs::Histogram* const shard_pairs_hist =
+      reg.GetHistogram("engine.shard_pairs", "pairs");
+  static obs::Gauge* const imbalance_gauge =
+      reg.GetGauge("engine.shard_imbalance");
+  obs::ScopedSpan aggregate_span("aggregate");
+  obs::ScopedHistogramTimer aggregate_timer(aggregate_hist);
+
   const std::size_t shards = pool_.threads();
   if (shards <= 1) return akg::AggregateQuantum(quantum);
 
@@ -167,31 +193,64 @@ akg::QuantumAggregate ParallelDetector::ShardAggregate(
   using Routed = std::vector<std::vector<std::pair<KeywordId, UserId>>>;
   std::vector<Routed> routed(shards, Routed(shards));
   const std::size_t messages = quantum.messages.size();
-  pool_.RunShards(shards, [&](std::size_t w) {
-    Routed& buckets = routed[w];
-    const std::size_t begin = w * messages / shards;
-    const std::size_t end = (w + 1) * messages / shards;
-    for (std::size_t i = begin; i < end; ++i) {
-      const stream::Message& m = quantum.messages[i];
-      for (KeywordId k : m.keywords) {
-        buckets[k % shards].emplace_back(k, m.user);
+  {
+    obs::ScopedSpan span("aggregate.route");
+    obs::ScopedHistogramTimer timer(route_hist);
+    pool_.RunShards(shards, [&](std::size_t w) {
+      Routed& buckets = routed[w];
+      const std::size_t begin = w * messages / shards;
+      const std::size_t end = (w + 1) * messages / shards;
+      for (std::size_t i = begin; i < end; ++i) {
+        const stream::Message& m = quantum.messages[i];
+        for (KeywordId k : m.keywords) {
+          buckets[k % shards].emplace_back(k, m.user);
+        }
       }
-    }
-  });
+    });
+  }
 
   // Phase B — shard-parallel reduce: shard s gathers every worker's bucket
   // for s and canonicalizes through the same helper AggregateQuantum uses,
-  // so the merged result equals the serial aggregate exactly.
+  // so the merged result equals the serial aggregate exactly. Per-shard
+  // wall time and pair counts feed the imbalance gauge — the signal the
+  // distributed-sharding tier will rebalance on.
   std::vector<akg::QuantumAggregate> parts(shards);
-  pool_.RunShards(shards, [&](std::size_t s) {
-    std::unordered_map<KeywordId, std::vector<UserId>> users_of;
-    for (std::size_t w = 0; w < shards; ++w) {
-      for (const auto& [keyword, user] : routed[w][s]) {
-        users_of[keyword].push_back(user);
+  {
+    obs::ScopedSpan span("aggregate.reduce");
+    obs::ScopedHistogramTimer timer(reduce_hist);
+    const bool observed = obs::Enabled();
+    std::vector<std::int64_t> shard_ns(observed ? shards : 0, 0);
+    pool_.RunShards(shards, [&](std::size_t s) {
+      obs::ScopedSpan shard_span("shard.detect");
+      const std::int64_t t0 = observed ? obs::MonotonicNanos() : 0;
+      std::size_t pairs = 0;
+      std::unordered_map<KeywordId, std::vector<UserId>> users_of;
+      for (std::size_t w = 0; w < shards; ++w) {
+        pairs += routed[w][s].size();
+        for (const auto& [keyword, user] : routed[w][s]) {
+          users_of[keyword].push_back(user);
+        }
       }
+      parts[s] = akg::CanonicalAggregate(std::move(users_of), quantum.index);
+      if (observed) {
+        shard_ns[s] = obs::MonotonicNanos() - t0;
+        shard_detect_hist->Record(static_cast<std::uint64_t>(shard_ns[s]));
+        shard_pairs_hist->Record(pairs);
+      }
+    });
+    if (observed) {
+      std::int64_t max_ns = 0;
+      std::int64_t total_ns = 0;
+      for (const std::int64_t ns : shard_ns) {
+        max_ns = std::max(max_ns, ns);
+        total_ns += ns;
+      }
+      const double mean =
+          static_cast<double>(total_ns) / static_cast<double>(shards);
+      imbalance_gauge->Set(mean > 0 ? static_cast<double>(max_ns) / mean
+                                    : 1.0);
     }
-    parts[s] = akg::CanonicalAggregate(std::move(users_of), quantum.index);
-  });
+  }
 
   // Phase C — tree-reduce merge: pairwise sorted merges of the shard
   // outputs, each level running on the pool. Shards own disjoint keyword
@@ -219,11 +278,15 @@ akg::QuantumAggregate ParallelDetector::ShardAggregate(
   };
   akg::QuantumAggregate aggregate;
   aggregate.index = quantum.index;
-  aggregate.keywords = TreeReduce(
-      std::move(runs), merge_runs,
-      [this](std::size_t n, const std::function<void(std::size_t)>& body) {
-        pool_.ParallelFor(n, body);
-      });
+  {
+    obs::ScopedSpan span("aggregate.merge");
+    obs::ScopedHistogramTimer timer(merge_hist);
+    aggregate.keywords = TreeReduce(
+        std::move(runs), merge_runs,
+        [this](std::size_t n, const std::function<void(std::size_t)>& body) {
+          pool_.ParallelFor(n, body);
+        });
+  }
   return aggregate;
 }
 

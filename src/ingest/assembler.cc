@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scprt::ingest {
 
@@ -63,6 +65,12 @@ void QuantumAssembler::Finish() {
 }
 
 void QuantumAssembler::Process(const stream::Quantum& quantum) {
+  // Top-level span of the trace hierarchy: everything the quantum costs
+  // (detect, rank, commit) nests under this interval on the driver thread.
+  static obs::Histogram* const quantum_hist =
+      obs::Registry::Default().GetHistogram("ingest.quantum_process_ns");
+  obs::ScopedSpan span("quantum");
+  obs::ScopedHistogramTimer timer(quantum_hist);
   detect::QuantumReport report = process_(quantum);
   ++quanta_;
   if (metrics_) metrics_->AddQuantaEmitted(1);

@@ -4,25 +4,50 @@
 
 namespace scprt::ingest {
 
+IngestMetrics::IngestMetrics(obs::Registry* registry) {
+  obs::Registry& r =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  records_read_ = r.GetCounter("ingest.records_read");
+  malformed_ = r.GetCounter("ingest.malformed");
+  admitted_ = r.GetCounter("ingest.admitted");
+  shed_ = r.GetCounter("ingest.shed");
+  messages_emitted_ = r.GetCounter("ingest.messages_emitted");
+  quanta_emitted_ = r.GetCounter("ingest.quanta_emitted");
+  tokens_ = r.GetCounter("ingest.tokens");
+  keywords_ = r.GetCounter("ingest.keywords");
+  tokenize_ns_ = r.GetCounter("ingest.tokenize_ns");
+  peak_queue_depth_ = r.GetCounter("ingest.peak_queue_depth");
+  queue_depth_ = r.GetGauge("ingest.queue_depth");
+  checkpoints_ = r.GetCounter("ingest.checkpoints");
+  checkpoint_bytes_ = r.GetCounter("ingest.checkpoint_bytes");
+  checkpoint_ns_ = r.GetCounter("ingest.checkpoint_ns");
+  commits_ = r.GetCounter("ingest.commits");
+  commit_bytes_ = r.GetCounter("ingest.commit_bytes");
+  commit_ns_ = r.GetCounter("ingest.commit_ns");
+  checkpoint_failures_ = r.GetCounter("ingest.checkpoint_failures");
+  sync_failures_ = r.GetCounter("ingest.sync_failures");
+}
+
 void IngestMetrics::Reset() {
-  records_read_.store(0, std::memory_order_relaxed);
-  malformed_.store(0, std::memory_order_relaxed);
-  admitted_.store(0, std::memory_order_relaxed);
-  shed_.store(0, std::memory_order_relaxed);
-  messages_emitted_.store(0, std::memory_order_relaxed);
-  quanta_emitted_.store(0, std::memory_order_relaxed);
-  tokens_.store(0, std::memory_order_relaxed);
-  keywords_.store(0, std::memory_order_relaxed);
-  tokenize_ns_.store(0, std::memory_order_relaxed);
-  peak_queue_depth_.store(0, std::memory_order_relaxed);
-  checkpoints_.store(0, std::memory_order_relaxed);
-  checkpoint_bytes_.store(0, std::memory_order_relaxed);
-  checkpoint_ns_.store(0, std::memory_order_relaxed);
-  commits_.store(0, std::memory_order_relaxed);
-  commit_bytes_.store(0, std::memory_order_relaxed);
-  commit_ns_.store(0, std::memory_order_relaxed);
-  checkpoint_failures_.store(0, std::memory_order_relaxed);
-  sync_failures_.store(0, std::memory_order_relaxed);
+  records_read_->Store(0);
+  malformed_->Store(0);
+  admitted_->Store(0);
+  shed_->Store(0);
+  messages_emitted_->Store(0);
+  quanta_emitted_->Store(0);
+  tokens_->Store(0);
+  keywords_->Store(0);
+  tokenize_ns_->Store(0);
+  peak_queue_depth_->Store(0);
+  queue_depth_->Set(0.0);
+  checkpoints_->Store(0);
+  checkpoint_bytes_->Store(0);
+  checkpoint_ns_->Store(0);
+  commits_->Store(0);
+  commit_bytes_->Store(0);
+  commit_ns_->Store(0);
+  checkpoint_failures_->Store(0);
+  sync_failures_->Store(0);
   // recovery_ns_ deliberately survives: it is set by the resume that led
   // into the Run whose Reset this is.
   start_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
@@ -30,25 +55,25 @@ void IngestMetrics::Reset() {
 
 IngestSnapshot IngestMetrics::Snapshot() const {
   IngestSnapshot s;
-  s.records_read = records_read_.load(std::memory_order_relaxed);
-  s.malformed = malformed_.load(std::memory_order_relaxed);
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.messages_emitted = messages_emitted_.load(std::memory_order_relaxed);
-  s.quanta_emitted = quanta_emitted_.load(std::memory_order_relaxed);
-  s.tokens = tokens_.load(std::memory_order_relaxed);
-  s.keywords = keywords_.load(std::memory_order_relaxed);
-  s.tokenize_ns = tokenize_ns_.load(std::memory_order_relaxed);
-  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
-  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
-  s.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
-  s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
-  s.commits = commits_.load(std::memory_order_relaxed);
-  s.commit_bytes = commit_bytes_.load(std::memory_order_relaxed);
-  s.commit_ns = commit_ns_.load(std::memory_order_relaxed);
-  s.checkpoint_failures =
-      checkpoint_failures_.load(std::memory_order_relaxed);
-  s.sync_failures = sync_failures_.load(std::memory_order_relaxed);
+  s.records_read = records_read_->Value();
+  s.malformed = malformed_->Value();
+  s.admitted = admitted_->Value();
+  s.shed = shed_->Value();
+  s.messages_emitted = messages_emitted_->Value();
+  s.quanta_emitted = quanta_emitted_->Value();
+  s.tokens = tokens_->Value();
+  s.keywords = keywords_->Value();
+  s.tokenize_ns = tokenize_ns_->Value();
+  s.peak_queue_depth = peak_queue_depth_->Value();
+  s.queue_depth = static_cast<std::uint64_t>(queue_depth_->Value());
+  s.checkpoints = checkpoints_->Value();
+  s.checkpoint_bytes = checkpoint_bytes_->Value();
+  s.checkpoint_ns = checkpoint_ns_->Value();
+  s.commits = commits_->Value();
+  s.commit_bytes = commit_bytes_->Value();
+  s.commit_ns = commit_ns_->Value();
+  s.checkpoint_failures = checkpoint_failures_->Value();
+  s.sync_failures = sync_failures_->Value();
   s.recovery_seconds =
       static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) /
       1e9;
@@ -60,18 +85,19 @@ IngestSnapshot IngestMetrics::Snapshot() const {
 }
 
 std::string IngestSnapshot::Format() const {
-  char buf[448];
+  char buf[512];
   int n = std::snprintf(
       buf, sizeof(buf),
       "%llu msgs (%llu quanta) in %.2fs = %.0f msg/s | "
       "read %llu, shed %llu, malformed %llu | "
-      "%.2f us/msg tokenize, peak queue %llu",
+      "%.2f us/msg tokenize, queue %llu (peak %llu)",
       static_cast<unsigned long long>(messages_emitted),
       static_cast<unsigned long long>(quanta_emitted), elapsed_seconds,
       MessagesPerSecond(), static_cast<unsigned long long>(records_read),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(malformed),
       TokenizeMicrosPerMessage(),
+      static_cast<unsigned long long>(queue_depth),
       static_cast<unsigned long long>(peak_queue_depth));
   if (commits > 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
     n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
@@ -97,18 +123,21 @@ std::string IngestSnapshot::Format() const {
 }
 
 std::string IngestSnapshot::FormatJson() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"records_read\": %llu, \"malformed\": %llu, \"admitted\": %llu, "
       "\"shed\": %llu, \"messages_emitted\": %llu, \"quanta_emitted\": %llu, "
       "\"tokens\": %llu, \"keywords\": %llu, \"tokenize_ns\": %llu, "
-      "\"peak_queue_depth\": %llu, \"checkpoints\": %llu, "
+      "\"peak_queue_depth\": %llu, \"queue_depth\": %llu, "
+      "\"checkpoints\": %llu, "
       "\"checkpoint_bytes\": %llu, \"checkpoint_ns\": %llu, "
       "\"commits\": %llu, \"commit_bytes\": %llu, \"commit_ns\": %llu, "
       "\"checkpoint_failures\": %llu, \"sync_failures\": %llu, "
       "\"recovery_seconds\": %.6f, \"elapsed_seconds\": %.6f, "
-      "\"messages_per_second\": %.1f}",
+      "\"messages_per_second\": %.1f, "
+      "\"tokenize_micros_per_message\": %.3f, "
+      "\"checkpoint_millis\": %.3f, \"commit_micros\": %.3f}",
       static_cast<unsigned long long>(records_read),
       static_cast<unsigned long long>(malformed),
       static_cast<unsigned long long>(admitted),
@@ -119,6 +148,7 @@ std::string IngestSnapshot::FormatJson() const {
       static_cast<unsigned long long>(keywords),
       static_cast<unsigned long long>(tokenize_ns),
       static_cast<unsigned long long>(peak_queue_depth),
+      static_cast<unsigned long long>(queue_depth),
       static_cast<unsigned long long>(checkpoints),
       static_cast<unsigned long long>(checkpoint_bytes),
       static_cast<unsigned long long>(checkpoint_ns),
@@ -127,7 +157,8 @@ std::string IngestSnapshot::FormatJson() const {
       static_cast<unsigned long long>(commit_ns),
       static_cast<unsigned long long>(checkpoint_failures),
       static_cast<unsigned long long>(sync_failures), recovery_seconds,
-      elapsed_seconds, MessagesPerSecond());
+      elapsed_seconds, MessagesPerSecond(), TokenizeMicrosPerMessage(),
+      CheckpointMillis(), CommitMicros());
   return buf;
 }
 

@@ -1,6 +1,15 @@
 // Live ingest metrics: lock-free counters written by the reader, the
 // tokenizer workers and the collector, snapshotable at any time from any
 // thread (a monitoring thread polls Snapshot() while the pipeline runs).
+//
+// Since the obs layer landed this is a facade: every counter is a handle
+// into an obs::Registry (Registry::Default() unless a test injects its
+// own), so the same numbers the pipeline reports through Snapshot() are
+// visible to Registry::SnapshotAll() — one Prometheus scrape covers
+// ingest, engine, and durability together. The per-run API is unchanged:
+// Reset() re-baselines before each Run(), Snapshot() copies, Format() /
+// FormatJson() render. Only start/recovery timestamps stay local — they
+// describe this pipeline instance, not the process.
 
 #ifndef SCPRT_INGEST_METRICS_H_
 #define SCPRT_INGEST_METRICS_H_
@@ -10,15 +19,13 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/registry.h"
+
 namespace scprt::ingest {
 
 /// Monotonic nanoseconds — the one clock for tokenize-latency accounting
 /// and elapsed-time baselines (keeping the two on the same source).
-inline std::int64_t MonotonicNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+inline std::int64_t MonotonicNanos() { return obs::MonotonicNanos(); }
 
 /// Point-in-time copy of the counters, plus derived rates.
 struct IngestSnapshot {
@@ -32,6 +39,7 @@ struct IngestSnapshot {
   std::uint64_t keywords = 0;         ///< keywords surviving filters
   std::uint64_t tokenize_ns = 0;      ///< summed worker tokenize time
   std::uint64_t peak_queue_depth = 0; ///< max staging depth ever observed
+  std::uint64_t queue_depth = 0;      ///< staging depth at snapshot time
   std::uint64_t checkpoints = 0;      ///< checkpoints written this run
   std::uint64_t checkpoint_bytes = 0; ///< bytes written to checkpoints
   std::uint64_t checkpoint_ns = 0;    ///< wall time spent checkpointing
@@ -73,7 +81,9 @@ struct IngestSnapshot {
 
   /// One-line human rendering.
   std::string Format() const;
-  /// Flat JSON object (machine-readable bench/monitoring output).
+  /// Flat JSON object (machine-readable bench/monitoring output). Carries
+  /// every raw counter plus the derived rates above, so monitoring sees
+  /// the same numbers Format() prints.
   std::string FormatJson() const;
 };
 
@@ -81,38 +91,44 @@ struct IngestSnapshot {
 /// not synchronization; the pipeline's queues order the data itself.
 class IngestMetrics {
  public:
-  void AddRecordsRead(std::uint64_t n) { Add(records_read_, n); }
-  void AddMalformed(std::uint64_t n) { Add(malformed_, n); }
-  void AddAdmitted(std::uint64_t n) { Add(admitted_, n); }
-  void AddShed(std::uint64_t n) { Add(shed_, n); }
-  void AddMessagesEmitted(std::uint64_t n) { Add(messages_emitted_, n); }
-  void AddQuantaEmitted(std::uint64_t n) { Add(quanta_emitted_, n); }
-  void AddTokens(std::uint64_t n) { Add(tokens_, n); }
-  void AddKeywords(std::uint64_t n) { Add(keywords_, n); }
-  void AddTokenizeNs(std::uint64_t n) { Add(tokenize_ns_, n); }
+  /// Binds to `registry`, or to obs::Registry::Default() when null.
+  /// Tests that need isolation from the process-wide registry pass their
+  /// own; the pipeline default keeps all instances on the shared one
+  /// (instances are per-run and Reset() re-baselines).
+  explicit IngestMetrics(obs::Registry* registry = nullptr);
+
+  void AddRecordsRead(std::uint64_t n) { records_read_->Add(n); }
+  void AddMalformed(std::uint64_t n) { malformed_->Add(n); }
+  void AddAdmitted(std::uint64_t n) { admitted_->Add(n); }
+  void AddShed(std::uint64_t n) { shed_->Add(n); }
+  void AddMessagesEmitted(std::uint64_t n) { messages_emitted_->Add(n); }
+  void AddQuantaEmitted(std::uint64_t n) { quanta_emitted_->Add(n); }
+  void AddTokens(std::uint64_t n) { tokens_->Add(n); }
+  void AddKeywords(std::uint64_t n) { keywords_->Add(n); }
+  void AddTokenizeNs(std::uint64_t n) { tokenize_ns_->Add(n); }
 
   /// One checkpoint written: its size and the wall time it cost.
   void AddCheckpoint(std::uint64_t bytes, std::uint64_t ns) {
-    Add(checkpoints_, 1);
-    Add(checkpoint_bytes_, bytes);
-    Add(checkpoint_ns_, ns);
+    checkpoints_->Increment();
+    checkpoint_bytes_->Add(bytes);
+    checkpoint_ns_->Add(ns);
   }
 
   /// One durable commit (a WAL record append or a checkpoint file): its
   /// size and the pipeline stall it cost.
   void AddCommit(std::uint64_t bytes, std::uint64_t ns) {
-    Add(commits_, 1);
-    Add(commit_bytes_, bytes);
-    Add(commit_ns_, ns);
+    commits_->Increment();
+    commit_bytes_->Add(bytes);
+    commit_ns_->Add(ns);
   }
 
   /// A commit attempt failed (typed reason lives with the caller); the
   /// stream keeps flowing, the recovery point ages.
-  void AddCheckpointFailure() { Add(checkpoint_failures_, 1); }
+  void AddCheckpointFailure() { checkpoint_failures_->Increment(); }
 
   /// An fsync/fdatasync failed: bytes may be in the kernel, but the
   /// commit's power-loss durability could not be established.
-  void AddSyncFailure(std::uint64_t n) { Add(sync_failures_, n); }
+  void AddSyncFailure(std::uint64_t n) { sync_failures_->Add(n); }
 
   /// Recovery cost (load + delta replay + source seek) of the resume that
   /// preceded this run. Survives Reset() — it describes how the run began.
@@ -120,12 +136,13 @@ class IngestMetrics {
     recovery_ns_.store(ns, std::memory_order_relaxed);
   }
 
-  /// Raises the peak staging-queue depth watermark to at least `depth`.
+  /// Records the staging depth just observed: raises the lifetime peak
+  /// watermark and sets the current-depth gauge. The pair separates a
+  /// one-off spike (peak high, current low) from sustained backpressure
+  /// (both high) — the signal the admission controller will walk on.
   void ObserveQueueDepth(std::uint64_t depth) {
-    std::uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
-    while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
-                               seen, depth, std::memory_order_relaxed)) {
-    }
+    peak_queue_depth_->MaxWith(depth);
+    queue_depth_->Set(static_cast<double>(depth));
   }
 
   /// Zeroes every counter and restamps the elapsed-time baseline; each
@@ -137,28 +154,25 @@ class IngestMetrics {
   IngestSnapshot Snapshot() const;
 
  private:
-  static void Add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
-    counter.fetch_add(n, std::memory_order_relaxed);
-  }
-
-  std::atomic<std::uint64_t> records_read_{0};
-  std::atomic<std::uint64_t> malformed_{0};
-  std::atomic<std::uint64_t> admitted_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> messages_emitted_{0};
-  std::atomic<std::uint64_t> quanta_emitted_{0};
-  std::atomic<std::uint64_t> tokens_{0};
-  std::atomic<std::uint64_t> keywords_{0};
-  std::atomic<std::uint64_t> tokenize_ns_{0};
-  std::atomic<std::uint64_t> peak_queue_depth_{0};
-  std::atomic<std::uint64_t> checkpoints_{0};
-  std::atomic<std::uint64_t> checkpoint_bytes_{0};
-  std::atomic<std::uint64_t> checkpoint_ns_{0};
-  std::atomic<std::uint64_t> commits_{0};
-  std::atomic<std::uint64_t> commit_bytes_{0};
-  std::atomic<std::uint64_t> commit_ns_{0};
-  std::atomic<std::uint64_t> checkpoint_failures_{0};
-  std::atomic<std::uint64_t> sync_failures_{0};
+  obs::Counter* records_read_;
+  obs::Counter* malformed_;
+  obs::Counter* admitted_;
+  obs::Counter* shed_;
+  obs::Counter* messages_emitted_;
+  obs::Counter* quanta_emitted_;
+  obs::Counter* tokens_;
+  obs::Counter* keywords_;
+  obs::Counter* tokenize_ns_;
+  obs::Counter* peak_queue_depth_;
+  obs::Gauge* queue_depth_;
+  obs::Counter* checkpoints_;
+  obs::Counter* checkpoint_bytes_;
+  obs::Counter* checkpoint_ns_;
+  obs::Counter* commits_;
+  obs::Counter* commit_bytes_;
+  obs::Counter* commit_ns_;
+  obs::Counter* checkpoint_failures_;
+  obs::Counter* sync_failures_;
   std::atomic<std::uint64_t> recovery_ns_{0};
   std::atomic<std::int64_t> start_ns_{0};
 };

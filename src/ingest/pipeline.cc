@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "engine/spsc_queue.h"
+#include "obs/registry.h"
 #include "text/stopwords.h"
 
 namespace scprt::ingest {
@@ -113,9 +114,18 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink,
   last_collected_position_ = source.Position();
   suppress_shedding_ = options.suppress_shedding;
 
+  // Stage histograms (process-wide; one clock pair per batch / stall, so
+  // the per-record cost stays under the obs overhead gate).
+  obs::Histogram* const collect_hist =
+      obs::Registry::Default().GetHistogram("ingest.collect_batch_ns");
+  obs::Histogram* const stall_hist =
+      obs::Registry::Default().GetHistogram("ingest.dispatch_stall_ns");
+
   // Collects every ready record in round-robin order; returns the number
   // delivered. Interning happens here — single thread, stream order.
   const auto collect_ready = [&]() -> std::size_t {
+    const std::int64_t collect_start =
+        obs::Enabled() ? obs::MonotonicNanos() : 0;
     std::size_t delivered = 0;
     DoneItem done;
     while (collect_seq < dispatch_seq &&
@@ -146,8 +156,16 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink,
       ++collect_seq;
       ++delivered;
     }
+    if (delivered > 0 && collect_start != 0) {
+      collect_hist->Record(static_cast<std::uint64_t>(
+          obs::MonotonicNanos() - collect_start));
+    }
     return delivered;
   };
+
+  // Start of the current admission-retry streak (0 = not stalled). Clock
+  // reads happen only while actually backpressured.
+  std::int64_t stall_start_ns = 0;
 
   while (!source_done || collect_seq < dispatch_seq || have_pending) {
     // --- Read ---
@@ -194,7 +212,15 @@ IngestSnapshot IngestPipeline::Run(MessageSource& source, MessageSink& sink,
           progressed = true;
           break;
         case Admission::kRetry:
+          if (stall_start_ns == 0 && obs::Enabled()) {
+            stall_start_ns = obs::MonotonicNanos();
+          }
           break;  // back off into collection; retried next iteration
+      }
+      if (progressed && stall_start_ns != 0) {
+        stall_hist->Record(static_cast<std::uint64_t>(
+            obs::MonotonicNanos() - stall_start_ns));
+        stall_start_ns = 0;
       }
     }
 
