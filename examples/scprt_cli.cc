@@ -42,9 +42,23 @@
 //
 //   scprt_cli info <in.trace>
 //       Print trace statistics (messages, vocabulary, planted events).
+//
+//   scprt_cli query <store-dir> <keyword...> [--top N] [--store-frames N]
+//       Answer a keyword query against an event store built by a previous
+//       run/ingest with --store-dir: sketch the keywords, probe the banded
+//       LSH index, and print the matching past events ranked by estimated
+//       keyword Jaccard (ties: distinct-user support, recency). Needs no
+//       trace or dictionary — the store is self-contained.
+//
+// run and ingest accept --store-dir DIR [--store-bands B] [--store-rows R]
+// [--store-commit-every K] [--store-frames N]: every newly reported event
+// is persisted into the LSH event store at DIR as it is discovered
+// (created on first use, extended on later runs), making the run's history
+// queryable afterwards. See docs/formats.md for the on-disk layout.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -56,6 +70,7 @@
 #include "detect/postprocess.h"
 #include "detect/report.h"
 #include "durability/backend.h"
+#include "durability/posix_file.h"
 #include "engine/parallel_detector.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
@@ -64,6 +79,8 @@
 #include "ingest/text_export.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "store/event_indexer.h"
+#include "store/lsh_index.h"
 #include "stream/synthetic.h"
 #include "stream/trace.h"
 #include "text/concurrent_dictionary.h"
@@ -88,7 +105,9 @@ int Usage() {
                "  scprt_cli run <in.trace> [--delta N] [--gamma F] "
                "[--theta N] [--w N] [--top N] [--stories] "
                "[--suppress-spurious] [--threads N] [--metrics-json FILE] "
-               "[--trace-out FILE]\n"
+               "[--trace-out FILE] [--store-dir DIR] [--store-bands B] "
+               "[--store-rows R] [--store-commit-every K] "
+               "[--store-frames N]\n"
                "  scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] "
                "[--workers N] [--threads N] [--policy block|drop|sample] "
                "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
@@ -97,9 +116,13 @@ int Usage() {
                "[--durability-backend snapshot|wal] "
                "[--durability-fsync none|interval|commit] "
                "[--durability-cadence K] [--durability-seconds T] "
-               "[--durability-full-every N] [--resume] [--trace-out FILE]\n"
+               "[--durability-full-every N] [--resume] [--trace-out FILE] "
+               "[--store-dir DIR] [--store-bands B] [--store-rows R] "
+               "[--store-commit-every K] [--store-frames N]\n"
                "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
-               "  scprt_cli info <in.trace>\n");
+               "  scprt_cli info <in.trace>\n"
+               "  scprt_cli query <store-dir> <keyword...> [--top N] "
+               "[--store-frames N] [--metrics-json FILE]\n");
   return 2;
 }
 
@@ -164,6 +187,58 @@ std::string MergedMetricsJson(const std::string& snapshot_json) {
   if (registry_json.size() <= 2) return snapshot_json;  // registry empty
   return snapshot_json.substr(0, snapshot_json.size() - 1) + ", " +
          registry_json.substr(1);
+}
+
+// --store-dir: the LSH event store attachment shared by run and ingest.
+// Opens an existing store (STOREMETA present) or creates a fresh one, and
+// wraps it in the ClusterSink the detector fires at report time.
+struct StoreAttachment {
+  std::unique_ptr<store::LshIndex> index;
+  std::unique_ptr<store::EventIndexer> indexer;
+
+  /// Commits the tail and reports any latched failure. True when healthy.
+  bool Finish() {
+    if (indexer == nullptr) return true;
+    (void)indexer->Flush();
+    if (!indexer->last_error().ok()) {
+      std::fprintf(stderr, "warning: event store writes failed: %s\n",
+                   indexer->last_error().ToString().c_str());
+      return false;
+    }
+    std::printf("store: %llu events indexed, %u pages\n",
+                static_cast<unsigned long long>(indexer->indexed()),
+                index->page_count());
+    return true;
+  }
+};
+
+bool MaybeOpenStore(const Args& args, StoreAttachment* out) {
+  if (!args.Has("store-dir")) return true;
+  const std::string dir = args.Get("store-dir", "");
+  store::LshOptions options;
+  options.bands =
+      static_cast<std::uint32_t>(std::stoul(args.Get("store-bands", "8")));
+  options.rows =
+      static_cast<std::uint32_t>(std::stoul(args.Get("store-rows", "2")));
+  options.pool_frames = std::stoul(args.Get("store-frames", "256"));
+  durability::Error error;
+  std::string meta;
+  if (durability::ReadFileToString(dir + "/STOREMETA", meta)) {
+    out->index = store::LshIndex::Open(dir, options, &error);
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    out->index = store::LshIndex::Create(dir, options, &error);
+  }
+  if (out->index == nullptr) {
+    std::fprintf(stderr, "error: cannot open event store %s: %s\n",
+                 dir.c_str(), error.ToString().c_str());
+    return false;
+  }
+  out->indexer = std::make_unique<store::EventIndexer>(
+      out->index.get(), static_cast<std::uint32_t>(std::stoul(
+                            args.Get("store-commit-every", "1"))));
+  return true;
 }
 
 int CmdGen(const Args& args) {
@@ -240,6 +315,11 @@ int CmdRun(const Args& args) {
   engine_config.detector = config;
   engine_config.threads = std::stoul(args.Get("threads", "1"));
   engine::ParallelDetector detector(engine_config, &trace.dictionary);
+  StoreAttachment event_store;
+  if (!MaybeOpenStore(args, &event_store)) return 1;
+  if (event_store.indexer != nullptr) {
+    detector.set_cluster_sink(event_store.indexer.get());
+  }
   detect::SpuriousSuppressor suppressor(3);
   MaybeEnableTracing(args);
   std::vector<detect::QuantumReport> reports;
@@ -298,13 +378,14 @@ int CmdRun(const Args& args) {
       "%zu/%zu events)\n",
       m.precision, m.recall, m.f1, m.clusters_reported, m.events_discovered,
       m.events_planted);
+  const bool store_ok = event_store.Finish();
   if (args.Has("metrics-json") &&
       !WriteTextFile(args.Get("metrics-json", ""),
                      obs::Registry::Default().SnapshotAll().FormatJson())) {
     return 1;
   }
   if (!MaybeWriteTrace(args)) return 1;
-  return 0;
+  return store_ok ? 0 : 3;
 }
 
 int CmdIngest(const Args& args) {
@@ -436,6 +517,14 @@ int CmdIngest(const Args& args) {
       return 2;
     }
     ingest::DurableIngest session(config, engine_config, durable);
+    StoreAttachment event_store;
+    if (!MaybeOpenStore(args, &event_store)) return 1;
+    if (event_store.indexer != nullptr) {
+      // The sink fires inside the engine's ProcessQuantum — before the
+      // durability backend fences the boundary, so a commit covering a
+      // quantum always covers its indexed events too.
+      session.engine().set_cluster_sink(event_store.indexer.get());
+    }
     if (args.Has("resume")) {
       const ingest::ResumeResult resume = session.Resume();
       switch (resume.outcome) {
@@ -505,12 +594,14 @@ int CmdIngest(const Args& args) {
                   static_cast<unsigned long long>(session.replayed_quanta()));
     }
     std::printf("vocabulary: %zu keywords\n", session.dictionary().size());
+    const bool store_ok = event_store.Finish();
     if (args.Has("metrics-json") &&
         !WriteTextFile(args.Get("metrics-json", ""),
                        MergedMetricsJson(snapshot->FormatJson()))) {
       return 1;
     }
     if (!MaybeWriteTrace(args)) return 1;
+    if (!store_ok) return 3;
     if (session.checkpoint_failures() > 0) {
       // The stream itself was processed; exit 3 flags that the recovery
       // point is older than the output suggests.
@@ -526,6 +617,11 @@ int CmdIngest(const Args& args) {
 
   text::ConcurrentKeywordDictionary dictionary;
   engine::ParallelDetector detector(engine_config, &dictionary.view());
+  StoreAttachment event_store;
+  if (!MaybeOpenStore(args, &event_store)) return 1;
+  if (event_store.indexer != nullptr) {
+    detector.set_cluster_sink(event_store.indexer.get());
+  }
   ingest::IngestPipeline pipeline(config, &dictionary);
   ingest::QuantumAssembler sink = ingest::QuantumAssembler::For(
       detector, [&](const detect::QuantumReport& report) {
@@ -551,12 +647,61 @@ int CmdIngest(const Args& args) {
   std::printf("\ningest: %s\n", stats.Format().c_str());
   std::printf("vocabulary: %zu keywords, %zu workers, %zu engine threads\n",
               dictionary.size(), pipeline.workers(), detector.threads());
+  const bool store_ok = event_store.Finish();
   if (args.Has("metrics-json") &&
       !WriteTextFile(args.Get("metrics-json", ""),
                      MergedMetricsJson(stats.FormatJson()))) {
     return 1;
   }
   if (!MaybeWriteTrace(args)) return 1;
+  return store_ok ? 0 : 3;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() < 3) return Usage();
+  const std::string& dir = args.positional[1];
+  std::vector<std::string> keywords(args.positional.begin() + 2,
+                                    args.positional.end());
+  const std::size_t top = std::stoul(args.Get("top", "10"));
+  const std::size_t frames = std::stoul(args.Get("store-frames", "256"));
+
+  durability::Error error;
+  const auto index = store::LshIndex::OpenReadOnly(dir, frames, &error);
+  if (index == nullptr) {
+    std::fprintf(stderr, "error: cannot open event store %s: %s\n",
+                 dir.c_str(), error.ToString().c_str());
+    return 1;
+  }
+  std::vector<store::QueryResult> results;
+  if (durability::Error e = index->Query(keywords, top, &results); !e.ok()) {
+    std::fprintf(stderr, "error: query failed: %s\n", e.ToString().c_str());
+    return 1;
+  }
+  std::printf("store: %u committed events, %u bands x %u rows\n",
+              index->committed_events(), index->bands(), index->rows());
+  if (results.empty()) {
+    std::printf("no matching events\n");
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const store::QueryResult& r = results[i];
+    std::string joined;
+    for (const std::string& keyword : r.event.keywords) {
+      if (!joined.empty()) joined += " ";
+      joined += keyword;
+    }
+    std::printf(
+        "%2zu. jaccard %.3f  cluster %llu  quantum %lld  rank %.2f  "
+        "users ~%.0f  [%s]\n",
+        i + 1, r.jaccard,
+        static_cast<unsigned long long>(r.event.cluster_id),
+        static_cast<long long>(r.event.quantum), r.event.rank,
+        r.support_estimate, joined.c_str());
+  }
+  if (args.Has("metrics-json") &&
+      !WriteTextFile(args.Get("metrics-json", ""),
+                     obs::Registry::Default().SnapshotAll().FormatJson())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -599,5 +744,6 @@ int main(int argc, char** argv) {
   if (cmd == "ingest") return CmdIngest(args);
   if (cmd == "export") return CmdExport(args);
   if (cmd == "info") return CmdInfo(args);
+  if (cmd == "query") return CmdQuery(args);
   return Usage();
 }

@@ -233,6 +233,24 @@ GraphDelta AkgBuilder::ProcessAggregate(const QuantumAggregate& aggregate) {
   return delta;
 }
 
+WeightedSketch AkgBuilder::ExportClusterSketch(
+    const std::vector<KeywordId>& keywords) const {
+  const std::size_t p = sketch_window_.hasher().p();
+  std::vector<WeightedSketch> parts;
+  parts.reserve(keywords.size());
+  for (KeywordId keyword : keywords) {
+    const auto it = signatures_.find(keyword);
+    if (it != signatures_.end() && !it->second.sketch.empty()) {
+      parts.push_back(it->second.sketch);
+    }
+  }
+  return WeightedMinHasher::CombineTree(std::move(parts), p);
+}
+
+std::size_t AkgBuilder::sketch_size() const {
+  return sketch_window_.hasher().p();
+}
+
 void AkgBuilder::Save(BinaryWriter& out) const {
   out.I64(now_);
   id_sets_.Save(out);

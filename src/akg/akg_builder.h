@@ -111,6 +111,20 @@ class AkgBuilder {
     return id_sets_.WindowSupport(keyword);
   }
 
+  /// Exports a cluster-level user sketch: the Combine tree of the member
+  /// keywords' current window sketches, bottom-p overall. Because Combine
+  /// is first-key-wins, a user active in several member keywords (or
+  /// spamming one of them) still occupies exactly one slot — the sketch is
+  /// a deduped distinct-user signature of the whole cluster, suitable for
+  /// persisting into the event store at report time. Keywords without a
+  /// live signature contribute nothing. Deterministic for a given member
+  /// list (callers pass the snapshot's sorted keyword set).
+  WeightedSketch ExportClusterSketch(
+      const std::vector<KeywordId>& keywords) const;
+
+  /// Sketch size p of the exported sketches (config-derived).
+  std::size_t sketch_size() const;
+
   const UserIdSets& id_sets() const { return id_sets_; }
   const NodeStateAutomaton& node_state() const { return node_state_; }
   const AkgQuantumStats& last_stats() const { return last_stats_; }

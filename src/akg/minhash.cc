@@ -219,6 +219,23 @@ double WeightedMinHasher::EstimateResemblance(const WeightedSketch& a,
                               static_cast<double>(merged.size());
 }
 
+double WeightedMinHasher::EstimateDistinctUsers(const WeightedSketch& sketch,
+                                                std::size_t p) {
+  if (sketch.empty()) return 0.0;
+  // Below p the sketch holds every distinct key: the count is exact.
+  if (sketch.size() < p) return static_cast<double>(sketch.size());
+  std::uint64_t max_key = 0;
+  for (const SketchEntry& entry : sketch) {
+    max_key = std::max(max_key, entry.key);
+  }
+  // KMV: with p uniform samples in [0, 1), E[max] = p/(D+1), so
+  // D ≈ (p-1)/max. The keys are bijective hashes of distinct user ids, so
+  // message counts never move this estimate.
+  const double frac = static_cast<double>(max_key) * 0x1.0p-64;
+  if (frac <= 0.0) return static_cast<double>(sketch.size());
+  return static_cast<double>(p - 1) / frac;
+}
+
 std::size_t DefaultMinHashSize(std::uint32_t high_threshold,
                                double ec_threshold) {
   SCPRT_CHECK(ec_threshold > 0.0);

@@ -141,6 +141,19 @@ class WeightedMinHasher {
   static double EstimateResemblance(const WeightedSketch& a,
                                     const WeightedSketch& b, std::size_t p);
 
+  /// Distinct-user estimate from a sketch's KEYS alone. Because one user
+  /// contributes exactly one key no matter how many messages they sent
+  /// (QuantumSketch requires distinct users; Combine is first-key-wins),
+  /// the estimate is immune to per-user message counts — the property the
+  /// store's query re-rank relies on (a spammer cannot inflate a past
+  /// event's support). Exact when the sketch is not full (< p entries);
+  /// the standard KMV estimate (p-1)/max_normalized_key for full
+  /// unweighted sketches; for full weighted sketches the keys are a
+  /// weight-biased sample and the same formula is a deterministic
+  /// approximation. Returns 0 on empty input.
+  static double EstimateDistinctUsers(const WeightedSketch& sketch,
+                                      std::size_t p);
+
   std::size_t p() const { return p_; }
   bool weighted() const { return weighted_; }
 

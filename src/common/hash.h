@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 
 namespace scprt {
@@ -42,6 +43,20 @@ class SeededHash {
  private:
   std::uint64_t seed_;
 };
+
+/// Seeded hash of an arbitrary byte string: FNV-1a over the bytes, then a
+/// SplitMix64 finalize mixed with the seed. Deterministic across platforms
+/// and process runs (unlike std::hash), which is what lets persisted
+/// keyword-spelling signatures (store/lsh_index.h) match queries issued by
+/// a different process months later.
+inline std::uint64_t HashBytes(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return SplitMix64(h ^ SplitMix64(seed));
+}
 
 /// Hash functor for std::pair of integral types, for use in unordered maps
 /// keyed by (node, node) edges.

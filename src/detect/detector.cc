@@ -66,7 +66,26 @@ QuantumReport EventDetector::ProcessQuantumWithAggregate(
   report.ckg_nodes = stats.ckg_nodes;
   report.bursty_keywords = stats.bursty;
   report.events = SnapshotEvents(quantum.index);
+  if (cluster_sink_ != nullptr) EmitToSink(report.events);
   return report;
+}
+
+void EventDetector::EmitToSink(const std::vector<EventSnapshot>& events) {
+  for (const EventSnapshot& snap : events) {
+    if (!snap.newly_reported) continue;
+    ReportedCluster cluster;
+    cluster.snapshot = snap;
+    if (dictionary_ != nullptr) {
+      cluster.spellings.reserve(snap.keywords.size());
+      for (KeywordId k : snap.keywords) {
+        cluster.spellings.push_back(
+            k < dictionary_->size() ? dictionary_->Spelling(k) : std::string());
+      }
+    }
+    cluster.user_sketch = akg_.ExportClusterSketch(snap.keywords);
+    cluster.sketch_p = akg_.sketch_size();
+    cluster_sink_->OnCluster(cluster);
+  }
 }
 
 std::vector<QuantumReport> EventDetector::Run(

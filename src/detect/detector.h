@@ -14,6 +14,7 @@
 #include "cluster/maintenance.h"
 #include "common/binary_io.h"
 #include "common/parallel.h"
+#include "detect/cluster_sink.h"
 #include "detect/config.h"
 #include "detect/event.h"
 #include "rank/rank_tracker.h"
@@ -54,6 +55,14 @@ class EventDetector {
   /// Reports are identical under any hook; nullptr restores the serial
   /// default. See engine/parallel_detector.h for the pooled setup.
   void set_parallel_for(ParallelForFn parallel_for);
+
+  /// Attaches a sink that receives every newly reported cluster (with its
+  /// spellings and deduped user sketch) inside ProcessQuantum, before the
+  /// report is returned — so a durability fence taken after the quantum
+  /// always covers what the sink saw. nullptr detaches. The sink must
+  /// outlive the detector or be detached first; it does not participate in
+  /// SaveState/RestoreState (re-fired events are the sink's to dedup).
+  void set_cluster_sink(ClusterSink* sink) { cluster_sink_ = sink; }
 
   /// Runs a whole trace; returns every quantum report.
   std::vector<QuantumReport> Run(const std::vector<stream::Message>& trace);
@@ -109,8 +118,12 @@ class EventDetector {
   /// True if the cluster passes the report filters (size, rank, noun).
   bool PassesFilters(const EventSnapshot& snapshot) const;
 
+  /// Fires cluster_sink_ for every newly reported event in `events`.
+  void EmitToSink(const std::vector<EventSnapshot>& events);
+
   DetectorConfig config_;
   ParallelForFn parallel_for_ = SerialFor;
+  ClusterSink* cluster_sink_ = nullptr;
   const text::KeywordDictionary* dictionary_;
   cluster::ScpMaintainer maintainer_;
   akg::AkgBuilder akg_;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ class EventFeed {
   /// (new stories only — ongoing ones are not repeated).
   std::vector<FeedItem> Consume(const QuantumReport& report);
 
+  /// Called once per delivered item, inside Consume, in delivery order —
+  /// the push-style mirror of Consume's return value for consumers (an
+  /// indexer, a notifier) that tap the feed without owning its call site.
+  /// nullptr detaches. Not part of Save/Restore.
+  void set_delivery_hook(std::function<void(const FeedItem&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
   /// Items delivered so far.
   std::uint64_t delivered_count() const { return delivered_count_; }
 
@@ -84,6 +93,7 @@ class EventFeed {
                    QuantumIndex now) const;
 
   FeedConfig config_;
+  std::function<void(const FeedItem&)> delivery_hook_;
   SpuriousSuppressor suppressor_;
   std::deque<DeliveredMemo> delivered_;
   std::uint64_t delivered_count_ = 0;

@@ -28,6 +28,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "rename failed";
     case ErrorCode::kNoManifest:
       return "no manifest";
+    case ErrorCode::kBusy:
+      return "busy";
   }
   return "unknown";
 }
@@ -71,6 +73,7 @@ sio::LoadError Error::ToLoadError() const {
     case ErrorCode::kSyncFailed:
     case ErrorCode::kRenameFailed:
     case ErrorCode::kNoManifest:
+    case ErrorCode::kBusy:
       return sio::LoadError::kIo;
   }
   return sio::LoadError::kIo;

@@ -47,6 +47,9 @@ enum class ErrorCode : std::uint8_t {
   kRenameFailed,
   /// Recovery found durability files but no loadable manifest.
   kNoManifest,
+  /// A bounded resource is exhausted — e.g. every buffer-pool frame is
+  /// pinned when a page must be brought in.
+  kBusy,
 };
 
 /// Stable human-readable name ("sync failed", "no manifest", ...).

@@ -45,6 +45,9 @@ std::string WalFileName(std::uint64_t number) {
 std::string ManifestFileName(std::uint64_t number) {
   return NumberedName("MANIFEST-%06" PRIu64, number);
 }
+std::string IndexFileName(std::uint64_t number) {
+  return NumberedName("idx-%06" PRIu64 ".pages", number);
+}
 bool ParseSegmentFileName(const std::string& name, std::uint64_t& number) {
   return ParseNumberedName("seg-%llu.snap%n", name, number);
 }
@@ -53,6 +56,9 @@ bool ParseWalFileName(const std::string& name, std::uint64_t& number) {
 }
 bool ParseManifestFileName(const std::string& name, std::uint64_t& number) {
   return ParseNumberedName("MANIFEST-%llu%n", name, number);
+}
+bool ParseIndexFileName(const std::string& name, std::uint64_t& number) {
+  return ParseNumberedName("idx-%llu.pages%n", name, number);
 }
 
 std::string EncodeManifest(const Manifest& manifest) {
@@ -157,6 +163,8 @@ DirectoryListing ListDurabilityFiles(const std::string& directory) {
       listing.wals.emplace_back(number, name);
     } else if (ParseManifestFileName(name, number)) {
       listing.manifests.emplace_back(number, name);
+    } else if (ParseIndexFileName(name, number)) {
+      listing.indexes.emplace_back(number, name);
     }
   }
   const auto by_number = [](const auto& a, const auto& b) {
@@ -165,6 +173,7 @@ DirectoryListing ListDurabilityFiles(const std::string& directory) {
   std::sort(listing.segments.begin(), listing.segments.end(), by_number);
   std::sort(listing.wals.begin(), listing.wals.end(), by_number);
   std::sort(listing.manifests.begin(), listing.manifests.end(), by_number);
+  std::sort(listing.indexes.begin(), listing.indexes.end(), by_number);
   return listing;
 }
 

@@ -56,9 +56,14 @@ struct Manifest {
 std::string SegmentFileName(std::uint64_t number);
 std::string WalFileName(std::uint64_t number);
 std::string ManifestFileName(std::uint64_t number);
+/// Event-store index page file (`idx-NNNNNN.pages`, src/store/). Drawn from
+/// the same number sequence so a durability directory stays collision-free;
+/// GC never sweeps this kind (the store owns its lifecycle).
+std::string IndexFileName(std::uint64_t number);
 bool ParseSegmentFileName(const std::string& name, std::uint64_t& number);
 bool ParseWalFileName(const std::string& name, std::uint64_t& number);
 bool ParseManifestFileName(const std::string& name, std::uint64_t& number);
+bool ParseIndexFileName(const std::string& name, std::uint64_t& number);
 
 /// Serializes / parses the framed manifest record. Decode verifies magic,
 /// version and CRC before reading a payload byte.
@@ -91,6 +96,9 @@ struct DirectoryListing {
   std::vector<std::pair<std::uint64_t, std::string>> segments;
   std::vector<std::pair<std::uint64_t, std::string>> wals;
   std::vector<std::pair<std::uint64_t, std::string>> manifests;
+  /// Event-store index files. Listed so recovery can see them; the GC
+  /// sweeps only segments/wals/manifests, never indexes.
+  std::vector<std::pair<std::uint64_t, std::string>> indexes;
 };
 DirectoryListing ListDurabilityFiles(const std::string& directory);
 

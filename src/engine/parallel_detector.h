@@ -79,6 +79,12 @@ class ParallelDetector {
   /// The wrapped single-writer core (state inspection).
   const detect::EventDetector& core() const { return detector_; }
 
+  /// Forwards to the core detector's report-time cluster sink (fires on
+  /// the engine's driver thread, inside ProcessQuantum). nullptr detaches.
+  void set_cluster_sink(detect::ClusterSink* sink) {
+    detector_.set_cluster_sink(sink);
+  }
+
   /// Writes a full native snapshot after quiescing the shard pool (the
   /// checkpoint fence: every in-flight shard task completes before a state
   /// byte is read). The format is detect/checkpoint.h's: a snapshot saved

@@ -1,0 +1,187 @@
+#include "store/buffer_pool.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scprt::store {
+
+using durability::Error;
+using durability::ErrorCode;
+using durability::MakeError;
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_no_ = other.page_no_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::data() {
+  SCPRT_DCHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].payload.get();
+}
+
+const char* PageHandle::data() const {
+  SCPRT_DCHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].payload.get();
+}
+
+void PageHandle::MarkDirty() {
+  SCPRT_DCHECK(pool_ != nullptr);
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, std::size_t frames)
+    : file_(file),
+      reads_(obs::Registry::Default().GetCounter("store.page_read")),
+      writes_(obs::Registry::Default().GetCounter("store.page_write")),
+      evictions_(obs::Registry::Default().GetCounter("store.page_evict")) {
+  SCPRT_CHECK(frames >= 1);
+  frames_.resize(frames);
+  for (Frame& frame : frames_) {
+    frame.payload = std::make_unique<char[]>(kPagePayloadSize);
+  }
+}
+
+Error BufferPool::Fetch(std::uint32_t page_no, PageHandle* handle) {
+  if (const auto it = page_to_frame_.find(page_no);
+      it != page_to_frame_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    frame.last_use = ++clock_;
+    *handle = PageHandle(this, it->second, page_no);
+    return {};
+  }
+  std::size_t slot = 0;
+  if (Error e = AcquireFrame(&slot); !e.ok()) return e;
+  Frame& frame = frames_[slot];
+  if (Error e = file_->ReadPage(page_no, frame.payload.get()); !e.ok()) {
+    return e;  // frame stays free (in_use false)
+  }
+  reads_->Increment();
+  frame.page_no = page_no;
+  frame.in_use = true;
+  frame.dirty = false;
+  frame.pins = 1;
+  frame.last_use = ++clock_;
+  page_to_frame_[page_no] = slot;
+  *handle = PageHandle(this, slot, page_no);
+  return {};
+}
+
+Error BufferPool::NewPage(PageHandle* handle) {
+  std::size_t slot = 0;
+  if (Error e = AcquireFrame(&slot); !e.ok()) return e;
+  const std::uint32_t page_no = file_->AllocatePage();
+  Frame& frame = frames_[slot];
+  std::memset(frame.payload.get(), 0, kPagePayloadSize);
+  frame.page_no = page_no;
+  frame.in_use = true;
+  frame.dirty = true;
+  frame.pins = 1;
+  frame.last_use = ++clock_;
+  page_to_frame_[page_no] = slot;
+  *handle = PageHandle(this, slot, page_no);
+  return {};
+}
+
+Error BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) {
+      if (Error e = WriteBack(frame); !e.ok()) return e;
+    }
+  }
+  return {};
+}
+
+void BufferPool::DropClean() {
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.in_use && frame.pins == 0 && !frame.dirty) {
+      page_to_frame_.erase(frame.page_no);
+      frame.in_use = false;
+    }
+  }
+}
+
+std::size_t BufferPool::pinned() const {
+  std::size_t n = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.in_use && frame.pins > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t BufferPool::dirty() const {
+  std::size_t n = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) ++n;
+  }
+  return n;
+}
+
+Error BufferPool::AcquireFrame(std::size_t* out) {
+  // A never-used frame first.
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].in_use) {
+      *out = i;
+      return {};
+    }
+  }
+  // Evict the LRU unpinned frame. Pinned frames are untouchable — when
+  // everything is pinned the pool is genuinely full and reports kBusy.
+  std::size_t victim = frames_.size();
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.pins == 0 && frame.last_use < oldest) {
+      oldest = frame.last_use;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return MakeError(ErrorCode::kBusy,
+                     "buffer pool: all " + std::to_string(frames_.size()) +
+                         " frames pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    if (Error e = WriteBack(frame); !e.ok()) return e;
+  }
+  evictions_->Increment();
+  page_to_frame_.erase(frame.page_no);
+  frame.in_use = false;
+  *out = victim;
+  return {};
+}
+
+Error BufferPool::WriteBack(Frame& frame) {
+  if (Error e = file_->WritePage(frame.page_no, frame.payload.get());
+      !e.ok()) {
+    return e;
+  }
+  writes_->Increment();
+  frame.dirty = false;
+  return {};
+}
+
+void BufferPool::Unpin(std::size_t frame) {
+  Frame& f = frames_[frame];
+  SCPRT_DCHECK(f.pins > 0);
+  --f.pins;
+}
+
+}  // namespace scprt::store

@@ -1,0 +1,127 @@
+// A bounded LRU buffer pool over one PageFile: at most `frames` pages are
+// resident at a time; fetching a non-resident page evicts the
+// least-recently-used *unpinned* frame (writing it back first when dirty).
+//
+// Invariants (tests/store_test.cc drives them with randomized op
+// sequences):
+//   * a pinned page is never evicted — a PageHandle's payload pointer
+//     stays valid until the handle unpins;
+//   * a dirty page is written back before its frame is reused, and
+//     FlushAll() leaves no dirty frame behind;
+//   * resident frames never exceed the configured bound.
+//
+// When every frame is pinned and a new page must come in, Fetch fails
+// with ErrorCode::kBusy — the pool refuses to break the pin contract.
+//
+// Not internally synchronized: the owner (LshIndex) serializes access.
+// Page traffic is counted into obs ("store.page_read", "store.page_write",
+// "store.page_evict").
+
+#ifndef SCPRT_STORE_BUFFER_POOL_H_
+#define SCPRT_STORE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "durability/error.h"
+#include "obs/registry.h"
+#include "store/page_file.h"
+
+namespace scprt::store {
+
+class BufferPool;
+
+/// RAII pin on one resident page. While alive, the payload pointer is
+/// stable and the page cannot be evicted. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle() { Release(); }
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  std::uint32_t page_no() const { return page_no_; }
+
+  /// The page payload (kPagePayloadSize bytes).
+  char* data();
+  const char* data() const;
+
+  /// Marks the page dirty: it will be written back before eviction or at
+  /// the next FlushAll.
+  void MarkDirty();
+
+  /// Unpins early (idempotent; the destructor calls it too).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, std::size_t frame, std::uint32_t page_no)
+      : pool_(pool), frame_(frame), page_no_(page_no) {}
+
+  BufferPool* pool_ = nullptr;
+  std::size_t frame_ = 0;
+  std::uint32_t page_no_ = 0;
+};
+
+/// The pool. `frames` >= 1 bounds residency.
+class BufferPool {
+ public:
+  BufferPool(PageFile* file, std::size_t frames);
+
+  /// Pins page `page_no`, reading it from the file when not resident.
+  /// Errors: whatever ReadPage surfaces (kIo/kCorrupt), or kBusy when no
+  /// frame can be freed.
+  durability::Error Fetch(std::uint32_t page_no, PageHandle* handle);
+
+  /// Allocates a fresh page in the file and pins it zero-filled and dirty
+  /// (no read — the page has no prior contents worth seeing).
+  durability::Error NewPage(PageHandle* handle);
+
+  /// Writes every dirty frame back. Pins are unaffected.
+  durability::Error FlushAll();
+
+  /// Drops every unpinned clean frame (test hook for re-read paths).
+  void DropClean();
+
+  std::size_t frames() const { return frames_.size(); }
+  std::size_t resident() const { return page_to_frame_.size(); }
+  std::size_t pinned() const;
+  std::size_t dirty() const;
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::uint32_t page_no = 0;
+    bool in_use = false;
+    bool dirty = false;
+    std::uint32_t pins = 0;
+    std::uint64_t last_use = 0;  // LRU clock tick
+    std::unique_ptr<char[]> payload;
+  };
+
+  /// Finds a free frame, evicting the LRU unpinned one if needed.
+  /// kBusy when everything is pinned.
+  durability::Error AcquireFrame(std::size_t* out);
+  durability::Error WriteBack(Frame& frame);
+  void Unpin(std::size_t frame);
+
+  PageFile* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint32_t, std::size_t> page_to_frame_;
+  std::uint64_t clock_ = 0;
+  obs::Counter* reads_;
+  obs::Counter* writes_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace scprt::store
+
+#endif  // SCPRT_STORE_BUFFER_POOL_H_

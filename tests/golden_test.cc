@@ -13,17 +13,25 @@
 // from its fixed generator config). Commit the diff together with the
 // change that caused it, and say why in the PR.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "detect/detector.h"
 #include "detect/report.h"
 #include "engine/parallel_detector.h"
+#include "store/event_indexer.h"
+#include "store/lsh_index.h"
 #include "stream/synthetic.h"
 #include "stream/trace.h"
 
@@ -240,6 +248,187 @@ INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTest, ::testing::ValuesIn(kCorpus),
                          [](const auto& info) {
                            return std::string(info.param.name);
                          });
+
+// --- The query corpus: the golden_tw trace's events, persisted into the
+// --- LSH event store and probed with queries derived deterministically
+// --- from the committed events themselves. The committed digests pin the
+// --- full ranked answer (ids, order, jaccard and support-estimate bits);
+// --- serial ingest, 4-thread ingest and a kill/replay resume must all
+// --- reproduce them bit-identically.
+
+class ScopedStoreDir {
+ public:
+  explicit ScopedStoreDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("scprt_golden_store_" + tag + "_" +
+              std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedStoreDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+store::LshOptions GoldenStoreOptions() {
+  store::LshOptions options;
+  options.bands = 8;
+  options.rows = 2;
+  options.directory_slots = 1024;
+  options.sync = false;  // durability is store_test's concern, not drift's
+  return options;
+}
+
+/// Streams `messages` through a fresh engine wired to a store in `dir`
+/// (which must already hold a created-or-recovered index when `resume`).
+void IngestIntoStore(const stream::SyntheticTrace& trace,
+                     const std::vector<stream::Message>& messages,
+                     const detect::DetectorConfig& config,
+                     std::size_t threads, store::LshIndex* index) {
+  store::EventIndexer indexer(index, /*commit_every=*/1);
+  engine::ParallelDetectorConfig pconfig;
+  pconfig.detector = config;
+  pconfig.threads = threads;
+  engine::ParallelDetector engine(pconfig, &trace.dictionary);
+  engine.set_cluster_sink(&indexer);
+  for (const stream::Message& message : messages) {
+    (void)engine.Push(message);
+  }
+  ASSERT_TRUE(indexer.Flush().ok());
+  ASSERT_TRUE(indexer.last_error().ok()) << indexer.last_error().ToString();
+}
+
+/// The fixed query derivation: for every committed event, its full keyword
+/// set and its first-half prefix; every third event also contributes a
+/// cross-event mix with its successor. Depends only on committed content,
+/// so every correctly built store derives the same list.
+std::vector<std::vector<std::string>> DeriveQueries(store::LshIndex& index) {
+  std::vector<store::StoredEvent> events;
+  EXPECT_TRUE(index.ScanCommitted(&events).ok());
+  EXPECT_FALSE(events.empty()) << "golden store holds no events";
+  std::vector<std::vector<std::string>> queries;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::vector<std::string>& kw = events[i].keywords;
+    queries.push_back(kw);
+    const std::size_t half = std::max<std::size_t>(2, kw.size() / 2);
+    queries.emplace_back(kw.begin(),
+                         kw.begin() + std::min(half, kw.size()));
+    if (i % 3 == 0 && i + 1 < events.size()) {
+      std::vector<std::string> mix(
+          kw.begin(), kw.begin() + std::min<std::size_t>(3, kw.size()));
+      const std::vector<std::string>& next = events[i + 1].keywords;
+      mix.insert(mix.end(), next.begin(),
+                 next.begin() + std::min<std::size_t>(3, next.size()));
+      queries.push_back(std::move(mix));
+    }
+  }
+  return queries;
+}
+
+/// One digest per query over the full ranked answer. Doubles enter by bit
+/// pattern — the digest pins the arithmetic, not a rounding of it.
+std::vector<std::uint64_t> QueryDigests(
+    store::LshIndex& index,
+    const std::vector<std::vector<std::string>>& queries) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(queries.size());
+  for (const std::vector<std::string>& query : queries) {
+    std::vector<store::QueryResult> results;
+    EXPECT_TRUE(index.Query(query, 10, &results).ok());
+    std::uint64_t d = 0xD16E5700C0FFEEULL;
+    for (const store::QueryResult& r : results) {
+      d = HashCombine(d, r.event.cluster_id);
+      d = HashCombine(d, static_cast<std::uint64_t>(r.event.quantum));
+      d = HashCombine(d, std::bit_cast<std::uint64_t>(r.jaccard));
+      d = HashCombine(d, std::bit_cast<std::uint64_t>(r.support_estimate));
+      for (const std::string& keyword : r.event.keywords) {
+        d = HashCombine(d, HashBytes(keyword, 0));
+      }
+    }
+    digests.push_back(d);
+  }
+  return digests;
+}
+
+TEST(GoldenQueryTest, StoreAnswersMatchCommittedDigestsAtAnyIngestPath) {
+  const GoldenCase& c = kCorpus[0];  // golden_tw
+  stream::SyntheticTrace trace;
+  ASSERT_TRUE(stream::ReadTraceFile(TracePath(c), trace))
+      << "golden trace missing — run golden_test with SCPRT_UPDATE_GOLDEN=1"
+         " first";
+  const std::string digest_path =
+      std::string(SCPRT_GOLDEN_DIR) + "/golden_queries.digests";
+
+  // Serial ingest (threads = 1).
+  ScopedStoreDir serial_dir("serial");
+  std::vector<std::uint64_t> digests;
+  std::vector<std::vector<std::string>> queries;
+  {
+    auto index = store::LshIndex::Create(serial_dir.path(),
+                                         GoldenStoreOptions());
+    ASSERT_NE(index, nullptr);
+    IngestIntoStore(trace, trace.messages, c.detector_config(), 1,
+                    index.get());
+    queries = DeriveQueries(*index);
+    ASSERT_GT(queries.size(), 10u);
+    digests = QueryDigests(*index, queries);
+  }
+
+  if (UpdateMode()) {
+    ASSERT_TRUE(WriteDigestFile(digest_path, digests));
+  } else {
+    std::vector<std::uint64_t> expected;
+    ASSERT_TRUE(ReadDigestFile(digest_path, expected))
+        << "missing/corrupt " << digest_path;
+    ASSERT_EQ(digests.size(), expected.size());
+    for (std::size_t q = 0; q < digests.size(); ++q) {
+      EXPECT_EQ(digests[q], expected[q])
+          << "query " << q << " drifted — if intentional, regenerate with "
+             "SCPRT_UPDATE_GOLDEN=1 and explain in the PR";
+    }
+  }
+
+  // 4-thread ingest builds a store giving bit-identical answers (the
+  // engine's reports are bit-identical, so the insert stream is too).
+  {
+    ScopedStoreDir parallel_dir("par");
+    auto index = store::LshIndex::Create(parallel_dir.path(),
+                                         GoldenStoreOptions());
+    ASSERT_NE(index, nullptr);
+    IngestIntoStore(trace, trace.messages, c.detector_config(), 4,
+                    index.get());
+    EXPECT_EQ(QueryDigests(*index, queries), digests)
+        << "4-thread ingest changed query answers";
+  }
+
+  // Kill/resume: ingest half the trace, drop the writer (commit_every = 1
+  // left everything committed), re-open and replay the WHOLE trace — the
+  // (cluster, quantum) idempotency set absorbs the overlap and the final
+  // answers are bit-identical to the single-pass store's.
+  {
+    ScopedStoreDir resume_dir("resume");
+    {
+      auto index = store::LshIndex::Create(resume_dir.path(),
+                                           GoldenStoreOptions());
+      ASSERT_NE(index, nullptr);
+      const std::vector<stream::Message> half(
+          trace.messages.begin(),
+          trace.messages.begin() + trace.messages.size() / 2);
+      IngestIntoStore(trace, half, c.detector_config(), 1, index.get());
+    }
+    durability::Error error;
+    auto index = store::LshIndex::Open(resume_dir.path(),
+                                       GoldenStoreOptions(), &error);
+    ASSERT_NE(index, nullptr) << error.ToString();
+    IngestIntoStore(trace, trace.messages, c.detector_config(), 1,
+                    index.get());
+    EXPECT_EQ(QueryDigests(*index, queries), digests)
+        << "kill/replay resume changed query answers";
+  }
+}
 
 }  // namespace
 }  // namespace scprt
