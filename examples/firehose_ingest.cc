@@ -15,11 +15,14 @@
 // directory + source cursor, and the stitched report stream must be
 // bit-identical to Act 1's uninterrupted run.
 //
-//   $ ./firehose_ingest [seed] [--trace-out spans.json]
+//   $ ./firehose_ingest [seed] [--trace-out spans.json] [--messages N]
+//                       [--stats-addr HOST:PORT] [--sample-every T]
 //
 // --trace-out captures the per-quantum span hierarchy of Act 1 (quantum →
 // aggregate → shard.detect / detect.core) as Chrome about:tracing JSON —
-// load it at chrome://tracing or ui.perfetto.dev.
+// load it at chrome://tracing or ui.perfetto.dev. --stats-addr starts the
+// live telemetry service (see docs/observability.md) for the whole run, so
+// /metrics and /healthz can be scraped while the firehose is flowing.
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +32,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +44,7 @@
 #include "ingest/pipeline.h"
 #include "ingest/source.h"
 #include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "stream/quantizer.h"
 #include "stream/synthetic.h"
@@ -49,18 +54,47 @@ using namespace scprt;
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 2026;
+  std::uint64_t messages = 60'000;
   std::string trace_out;
+  std::string stats_addr;
+  double sample_every = 1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      messages = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stats-addr") == 0 && i + 1 < argc) {
+      stats_addr = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-every") == 0 && i + 1 < argc) {
+      sample_every = std::strtod(argv[++i], nullptr);
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
   }
   if (!trace_out.empty()) obs::Tracer::Default().Enable();
 
+  // --stats-addr keeps the telemetry service up for the whole demo (both
+  // acts), the way a deployment would run it beside the pipeline.
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!stats_addr.empty()) {
+    obs::TelemetryOptions telemetry_options;
+    telemetry_options.stats_addr = stats_addr;
+    telemetry_options.sample_every_seconds = sample_every;
+    telemetry_options.build_info = "firehose_ingest";
+    telemetry_options.config = {{"seed", std::to_string(seed)},
+                                {"messages", std::to_string(messages)}};
+    std::string error;
+    telemetry = obs::Telemetry::Start(telemetry_options, &error);
+    if (telemetry == nullptr) {
+      std::fprintf(stderr, "error: telemetry: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("telemetry: serving http://%s/\n",
+                telemetry->stats_address().c_str());
+  }
+
   stream::SyntheticConfig trace_config = stream::TimeWindowPreset(seed);
-  trace_config.num_messages = 60'000;
+  trace_config.num_messages = messages;
   trace_config.num_events = 8;
   trace_config.num_spurious = 2;
   std::printf("rendering synthetic firehose (seed %llu)...\n",

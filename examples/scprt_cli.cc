@@ -55,6 +55,15 @@
 // is persisted into the LSH event store at DIR as it is discovered
 // (created on first use, extended on later runs), making the run's history
 // queryable afterwards. See docs/formats.md for the on-disk layout.
+//
+// run and ingest also accept --stats-addr HOST:PORT [--sample-every T]
+// [--health-rule RULES] [--postmortem-dir DIR]: the live telemetry
+// service — an embedded HTTP stats server (/metrics, /metrics.json,
+// /healthz, /statusz, /tracez), a background registry sampler driving an
+// SLO watchdog, and a crash flight recorder that writes a post-mortem
+// bundle on fatal signals. Telemetry talks only to stderr, so stdout
+// reports stay bit-identical with the service on or off. See
+// docs/observability.md for endpoints, rule grammar and bundle schema.
 
 #include <cstdio>
 #include <cstring>
@@ -64,6 +73,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "detect/detector.h"
@@ -77,7 +87,9 @@
 #include "ingest/durable.h"
 #include "ingest/pipeline.h"
 #include "ingest/text_export.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "store/event_indexer.h"
 #include "store/lsh_index.h"
@@ -107,7 +119,9 @@ int Usage() {
                "[--suppress-spurious] [--threads N] [--metrics-json FILE] "
                "[--trace-out FILE] [--store-dir DIR] [--store-bands B] "
                "[--store-rows R] [--store-commit-every K] "
-               "[--store-frames N]\n"
+               "[--store-frames N] [--stats-addr HOST:PORT] "
+               "[--sample-every T] [--health-rule RULES] "
+               "[--postmortem-dir DIR]\n"
                "  scprt_cli ingest <in.jsonl|in.tsv|-> [--format jsonl|tsv] "
                "[--workers N] [--threads N] [--policy block|drop|sample] "
                "[--sample-keep F] [--seed N] [--queue N] [--delta N] "
@@ -118,7 +132,9 @@ int Usage() {
                "[--durability-cadence K] [--durability-seconds T] "
                "[--durability-full-every N] [--resume] [--trace-out FILE] "
                "[--store-dir DIR] [--store-bands B] [--store-rows R] "
-               "[--store-commit-every K] [--store-frames N]\n"
+               "[--store-commit-every K] [--store-frames N] "
+               "[--stats-addr HOST:PORT] [--sample-every T] "
+               "[--health-rule RULES] [--postmortem-dir DIR]\n"
                "  scprt_cli export <in.trace> <out> [--format jsonl|tsv]\n"
                "  scprt_cli info <in.trace>\n"
                "  scprt_cli query <store-dir> <keyword...> [--top N] "
@@ -189,6 +205,45 @@ std::string MergedMetricsJson(const std::string& snapshot_json) {
          registry_json.substr(1);
 }
 
+// --stats-addr / --sample-every / --health-rule / --postmortem-dir: the
+// live telemetry service shared by run and ingest. Returns false (after
+// printing to stderr) when a flag is malformed or the listener cannot
+// bind; leaves *out null when telemetry was simply not requested. All
+// output goes to stderr so stdout stays bit-identical either way.
+bool MaybeStartTelemetry(
+    const Args& args, const char* command,
+    std::vector<std::pair<std::string, std::string>> config,
+    std::unique_ptr<obs::Telemetry>* out) {
+  obs::TelemetryOptions options;
+  options.stats_addr = args.Get("stats-addr", "");
+  options.sample_every_seconds = std::stod(args.Get("sample-every", "1"));
+  options.health_rules = args.Get("health-rule", "");
+  options.postmortem_dir = args.Get("postmortem-dir", "");
+  options.build_info = std::string("scprt_cli ") + command;
+  options.config = std::move(config);
+  if (options.stats_addr.empty() && options.health_rules.empty() &&
+      options.postmortem_dir.empty()) {
+    return true;  // telemetry not requested
+  }
+  std::string error;
+  *out = obs::Telemetry::Start(options, &error);
+  if (*out == nullptr) {
+    std::fprintf(stderr, "error: telemetry: %s\n", error.c_str());
+    return false;
+  }
+  if ((*out)->stats_server() != nullptr) {
+    std::fprintf(stderr,
+                 "telemetry: serving http://%s/ (metrics, metrics.json, "
+                 "healthz, statusz, tracez)\n",
+                 (*out)->stats_address().c_str());
+  }
+  if (obs::FlightRecorder::instance() != nullptr) {
+    std::fprintf(stderr, "telemetry: post-mortem bundle at %s\n",
+                 obs::FlightRecorder::instance()->path().c_str());
+  }
+  return true;
+}
+
 // --store-dir: the LSH event store attachment shared by run and ingest.
 // Opens an existing store (STOREMETA present) or creates a fresh one, and
 // wraps it in the ClusterSink the detector fires at report time.
@@ -203,6 +258,7 @@ struct StoreAttachment {
     if (!indexer->last_error().ok()) {
       std::fprintf(stderr, "warning: event store writes failed: %s\n",
                    indexer->last_error().ToString().c_str());
+      obs::FlightRecorder::NoteFatalError("event store writes failed");
       return false;
     }
     std::printf("store: %llu events indexed, %u pages\n",
@@ -233,6 +289,7 @@ bool MaybeOpenStore(const Args& args, StoreAttachment* out) {
   if (out->index == nullptr) {
     std::fprintf(stderr, "error: cannot open event store %s: %s\n",
                  dir.c_str(), error.ToString().c_str());
+    obs::FlightRecorder::NoteFatalError("cannot open event store");
     return false;
   }
   out->indexer = std::make_unique<store::EventIndexer>(
@@ -314,6 +371,14 @@ int CmdRun(const Args& args) {
   engine::ParallelDetectorConfig engine_config;
   engine_config.detector = config;
   engine_config.threads = std::stoul(args.Get("threads", "1"));
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!MaybeStartTelemetry(args, "run",
+                           {{"trace", args.positional[1]},
+                            {"threads", args.Get("threads", "1")},
+                            {"store-dir", args.Get("store-dir", "-")}},
+                           &telemetry)) {
+    return 2;
+  }
   engine::ParallelDetector detector(engine_config, &trace.dictionary);
   StoreAttachment event_store;
   if (!MaybeOpenStore(args, &event_store)) return 1;
@@ -462,6 +527,21 @@ int CmdIngest(const Args& args) {
   engine_config.detector = DetectorConfigFromArgs(args);
   engine_config.threads = std::stoul(args.Get("threads", "1"));
   MaybeEnableTracing(args);
+  const bool durable_run =
+      args.Has("durability-dir") || args.Has("checkpoint-dir");
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!MaybeStartTelemetry(
+          args, "ingest",
+          {{"input", input},
+           {"format", format},
+           {"workers", args.Get("workers", "4")},
+           {"threads", args.Get("threads", "1")},
+           {"policy", policy},
+           {"durability-backend",
+            durable_run ? args.Get("durability-backend", "snapshot") : "-"}},
+          &telemetry)) {
+    return 2;
+  }
 
   // --durability-dir switches to the durable session: the chosen backend
   // commits at quantum boundaries, and with --resume the run continues
@@ -478,7 +558,7 @@ int CmdIngest(const Args& args) {
     }
     return dflt;
   };
-  if (args.Has("durability-dir") || args.Has("checkpoint-dir")) {
+  if (durable_run) {
     ingest::DurableConfig durable;
     durable.directory = aliased("durability-dir", "checkpoint-dir", "");
     durable.checkpoint_quanta =
@@ -561,6 +641,8 @@ int CmdIngest(const Args& args) {
                          "format version; restart without --resume and a "
                          "fresh full snapshot will be taken\n");
           }
+          obs::FlightRecorder::NoteFatalError(
+              "cannot resume from durable state");
           return 1;
       }
     }
@@ -610,6 +692,7 @@ int CmdIngest(const Args& args) {
                    static_cast<unsigned long long>(
                        session.checkpoint_failures()),
                    session.last_error().ToString().c_str());
+      obs::FlightRecorder::NoteFatalError("durability commits failed");
       return 3;
     }
     return 0;

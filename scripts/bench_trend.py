@@ -30,7 +30,7 @@ def flatten_metrics(node, prefix=""):
     """Dotted-path numeric leaves of a nested dict, skipping gates."""
     series = {}
     for key, value in node.items():
-        if key == "gate":
+        if key == "gate" or key.endswith("_gate"):
             continue
         path = f"{prefix}{key}"
         if isinstance(value, dict):

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Metric catalogue drift gate (stdlib only).
+
+docs/observability.md carries a catalogue of every metric the process
+exports. This script takes a live Prometheus scrape of the stats
+server's /metrics endpoint (a saved file or a URL) and fails if the
+scrape exposes a metric the catalogue does not document — so a new
+counter, gauge or histogram cannot land undocumented.
+
+Catalogued metrics missing from the scrape are reported but never
+fatal: a given run only exercises the paths it ran (a non-durable
+ingest records no wal.* samples, a run without --store-dir no
+store.*).
+
+Usage: check_metric_catalogue.py (--scrape FILE | --url URL)
+                                 [--doc docs/observability.md]
+
+Exits 0 on a fully catalogued scrape, 1 on undocumented metrics,
+2 on setup errors (unreadable scrape / no catalogue tables found).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+import urllib.request
+
+# Backticked names inside the catalogue tables: full dotted names, or
+# the leading-dot shorthand (`ingest.records_read`, `.malformed`)
+# that borrows the previous full name's prefix.
+NAME_RE = re.compile(r"`(\.?[a-z0-9_.]+)`")
+
+# One line per metric in the exposition format; histograms surface as
+# a single TYPE line plus _bucket/_sum/_count sample lines.
+TYPE_RE = re.compile(r"^# TYPE (scprt_[A-Za-z0-9_]+) ", re.MULTILINE)
+
+
+def catalogue_names(doc_text):
+    """Dotted metric names from the catalogue tables, shorthand expanded."""
+    names = set()
+    in_catalogue = False
+    for line in doc_text.splitlines():
+        if line.startswith("### Metric catalogue"):
+            in_catalogue = True
+            continue
+        if in_catalogue and line.startswith("## "):
+            break
+        if not in_catalogue or not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        prefix = ""
+        for token in NAME_RE.findall(first_cell):
+            if token.startswith("."):
+                names.add(prefix + token[1:])
+            else:
+                names.add(token)
+                prefix = token.rsplit(".", 1)[0] + "." if "." in token else ""
+    return names
+
+
+def scraped_names(scrape_text):
+    """Exported metric names, scprt_ prefix stripped, from TYPE lines."""
+    return {match[len("scprt_"):] for match in TYPE_RE.findall(scrape_text)}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--scrape", help="saved /metrics response")
+    source.add_argument("--url", help="live /metrics URL to fetch")
+    parser.add_argument("--doc", default="docs/observability.md")
+    args = parser.parse_args()
+
+    if args.scrape:
+        path = pathlib.Path(args.scrape)
+        if not path.exists():
+            print(f"::error::scrape not found: {path}")
+            return 2
+        scrape = path.read_text(encoding="utf-8")
+    else:
+        try:
+            with urllib.request.urlopen(args.url, timeout=10) as response:
+                scrape = response.read().decode("utf-8")
+        except OSError as error:
+            print(f"::error::cannot fetch {args.url}: {error}")
+            return 2
+
+    doc = pathlib.Path(args.doc)
+    if not doc.exists():
+        print(f"::error::doc not found: {doc}")
+        return 2
+    documented = catalogue_names(doc.read_text(encoding="utf-8"))
+    if not documented:
+        print(f"::error::{doc}: no catalogue tables found")
+        return 2
+    # The scrape flattens dots to underscores; compare in flat space.
+    documented_flat = {name.replace(".", "_") for name in documented}
+
+    exported = scraped_names(scrape)
+    if not exported:
+        print("::error::scrape contains no scprt_* TYPE lines")
+        return 2
+
+    undocumented = sorted(exported - documented_flat)
+    unexercised = sorted(documented_flat - exported)
+
+    for name in unexercised:
+        print(f"note: catalogued but not in this scrape: scprt_{name}")
+    if undocumented:
+        for name in undocumented:
+            print(f"::error::exported but not in the {doc} catalogue: "
+                  f"scprt_{name}")
+        return 1
+    print(f"check_metric_catalogue: all {len(exported)} exported metrics "
+          "are catalogued")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

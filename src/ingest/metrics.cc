@@ -81,6 +81,8 @@ IngestSnapshot IngestMetrics::Snapshot() const {
   s.elapsed_seconds =
       start > 0 ? static_cast<double>(MonotonicNanos() - start) / 1e9
                 : 0.0;
+  s.uptime_seconds = obs::ProcessUptimeSeconds();
+  s.process_start_unix = obs::ProcessStartUnixSeconds();
   return s;
 }
 
@@ -135,6 +137,7 @@ std::string IngestSnapshot::FormatJson() const {
       "\"commits\": %llu, \"commit_bytes\": %llu, \"commit_ns\": %llu, "
       "\"checkpoint_failures\": %llu, \"sync_failures\": %llu, "
       "\"recovery_seconds\": %.6f, \"elapsed_seconds\": %.6f, "
+      "\"uptime_seconds\": %.6f, \"process_start_unix\": %.6f, "
       "\"messages_per_second\": %.1f, "
       "\"tokenize_micros_per_message\": %.3f, "
       "\"checkpoint_millis\": %.3f, \"commit_micros\": %.3f}",
@@ -157,8 +160,9 @@ std::string IngestSnapshot::FormatJson() const {
       static_cast<unsigned long long>(commit_ns),
       static_cast<unsigned long long>(checkpoint_failures),
       static_cast<unsigned long long>(sync_failures), recovery_seconds,
-      elapsed_seconds, MessagesPerSecond(), TokenizeMicrosPerMessage(),
-      CheckpointMillis(), CommitMicros());
+      elapsed_seconds, uptime_seconds, process_start_unix,
+      MessagesPerSecond(), TokenizeMicrosPerMessage(), CheckpointMillis(),
+      CommitMicros());
   return buf;
 }
 

@@ -50,6 +50,8 @@ struct IngestSnapshot {
   std::uint64_t sync_failures = 0;    ///< fsync/fdatasync calls that failed
   double recovery_seconds = 0;        ///< load+seek cost of a resume, else 0
   double elapsed_seconds = 0;         ///< wall time (Run() start to snapshot)
+  double uptime_seconds = 0;          ///< process uptime (monotonic clock)
+  double process_start_unix = 0;      ///< wall-clock anchor of the uptime
 
   /// Source-to-sink throughput; 0 before any time elapses.
   double MessagesPerSecond() const {

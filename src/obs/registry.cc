@@ -43,6 +43,38 @@ void AppendU64(std::string& out, std::uint64_t v) {
 
 }  // namespace
 
+namespace {
+
+// One anchor pair, captured together on first use: the wall clock names
+// the instant, the monotonic clock measures from it.
+struct ProcessClockAnchor {
+  double start_unix;
+  std::int64_t start_mono_ns;
+};
+
+const ProcessClockAnchor& ClockAnchor() {
+  static const ProcessClockAnchor anchor = [] {
+    ProcessClockAnchor a;
+    a.start_mono_ns = MonotonicNanos();
+    a.start_unix =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    return a;
+  }();
+  return anchor;
+}
+
+}  // namespace
+
+double ProcessStartUnixSeconds() { return ClockAnchor().start_unix; }
+
+double ProcessUptimeSeconds() {
+  return static_cast<double>(MonotonicNanos() -
+                             ClockAnchor().start_mono_ns) /
+         1e9;
+}
+
 bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
 
 void SetEnabled(bool enabled) {
@@ -143,10 +175,15 @@ RegistrySnapshot Registry::SnapshotAll() const {
   for (const auto& [name, counter] : counter_index_) {
     snap.counters.emplace_back(name, counter->Value());
   }
-  snap.gauges.reserve(gauge_index_.size());
+  snap.gauges.reserve(gauge_index_.size() + 2);
   for (const auto& [name, gauge] : gauge_index_) {
     snap.gauges.emplace_back(name, gauge->Value());
   }
+  // The process clock rides along so windowed rates are derivable from a
+  // single scrape (uptime delta between two scrapes = exact denominator).
+  snap.gauges.emplace_back("process.start_unix", ProcessStartUnixSeconds());
+  snap.gauges.emplace_back("process.uptime_seconds",
+                           ProcessUptimeSeconds());
   snap.histograms.reserve(histogram_index_.size());
   for (const auto& [name, histogram] : histogram_index_) {
     snap.histograms.push_back(histogram->Snapshot());

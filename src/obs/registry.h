@@ -45,6 +45,16 @@ inline std::int64_t MonotonicNanos() {
       .count();
 }
 
+/// Unix seconds at process start — in practice, at the first obs touch,
+/// which every instrumented binary makes during startup. Captured once;
+/// every later call returns the same value, so windowed rates derived
+/// from (counter, uptime) pairs in different scrapes share one anchor.
+double ProcessStartUnixSeconds();
+
+/// Seconds since ProcessStartUnixSeconds' anchor, on the monotonic
+/// clock (wall-clock steps cannot make uptime jump).
+double ProcessUptimeSeconds();
+
 /// Whether optional instrumentation (stage timers, span clocks) is live.
 /// Initialized from the environment: SCPRT_OBS_OFF=1 disables it.
 bool Enabled();
@@ -180,6 +190,10 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  // SnapshotAll() appends the process clock as two synthetic gauges
+  // ("process.start_unix", "process.uptime_seconds"), so every export —
+  // Prometheus scrape or flat JSON — carries the anchor a dashboard
+  // needs to turn cumulative counters into windowed rates.
 
   /// Prometheus text exposition (names sanitized: dots become
   /// underscores, everything prefixed scprt_).

@@ -1,0 +1,100 @@
+#include "obs/telemetry.h"
+
+namespace scprt::obs {
+namespace {
+
+bool BuildRules(const std::string& spec, std::vector<WatchdogRule>* rules,
+                std::string* error) {
+  std::string user = spec;
+  bool defaults = true;
+  if (user == "none") {
+    user.clear();
+    defaults = false;
+  } else if (user.rfind("none,", 0) == 0) {
+    user = user.substr(5);
+    defaults = false;
+  }
+  if (defaults) *rules = DefaultWatchdogRules();
+  return ParseWatchdogRules(user, rules, error);
+}
+
+}  // namespace
+
+std::unique_ptr<Telemetry> Telemetry::Start(const TelemetryOptions& options,
+                                            std::string* error) {
+  if (error != nullptr) error->clear();
+  const bool want_server = !options.stats_addr.empty();
+  const bool want_sampler = options.sample_every_seconds > 0;
+  const bool want_recorder = !options.postmortem_dir.empty();
+  if (!want_server && !want_recorder && options.health_rules.empty()) {
+    return nullptr;  // nothing asked, nothing started
+  }
+
+  std::unique_ptr<Telemetry> telemetry(new Telemetry());
+
+  if (want_sampler) {
+    std::vector<WatchdogRule> rules;
+    if (!BuildRules(options.health_rules, &rules, error)) return nullptr;
+    SamplerOptions sampler_options;
+    sampler_options.period_seconds = options.sample_every_seconds;
+    telemetry->sampler_ = std::make_unique<Sampler>(sampler_options);
+    telemetry->watchdog_ = std::make_unique<Watchdog>(std::move(rules));
+  } else if (!options.health_rules.empty() &&
+             options.health_rules != "none") {
+    if (error != nullptr) {
+      *error = "--health-rule needs a positive --sample-every";
+    }
+    return nullptr;
+  }
+
+  if (want_recorder) {
+    FlightRecorder::Options recorder_options;
+    recorder_options.dir = options.postmortem_dir;
+    recorder_options.sampler = telemetry->sampler_.get();
+    recorder_options.watchdog = telemetry->watchdog_.get();
+    telemetry->recorder_ = &FlightRecorder::Install(recorder_options);
+  }
+
+  if (telemetry->sampler_ != nullptr) {
+    Watchdog* watchdog = telemetry->watchdog_.get();
+    FlightRecorder* recorder = telemetry->recorder_;
+    telemetry->sampler_->SetTickCallback(
+        [watchdog, recorder](const Sampler& sampler) {
+          if (watchdog != nullptr) watchdog->Evaluate(sampler);
+          if (recorder != nullptr) recorder->Refresh();
+        });
+    // Tick once before anything starts: /healthz and the post-mortem
+    // buffer are meaningful from the first request on, and a rule that
+    // is already violated trips on this very tick.
+    telemetry->sampler_->TickNow();
+    telemetry->sampler_->Start();
+  } else if (telemetry->recorder_ != nullptr) {
+    telemetry->recorder_->Refresh();
+  }
+
+  if (want_server) {
+    StatsServerOptions server_options;
+    server_options.address = options.stats_addr;
+    server_options.sampler = telemetry->sampler_.get();
+    server_options.watchdog = telemetry->watchdog_.get();
+    server_options.build_info = options.build_info;
+    server_options.config = options.config;
+    telemetry->server_ = std::make_unique<StatsServer>(server_options);
+    if (!telemetry->server_->Start(error)) return nullptr;
+  }
+
+  return telemetry;
+}
+
+Telemetry::~Telemetry() {
+  // Server first (stop serving reads), then the sampler (stop the tick
+  // callbacks into watchdog/recorder), then everything else falls.
+  if (server_ != nullptr) server_->Stop();
+  if (sampler_ != nullptr) sampler_->Stop();
+}
+
+std::string Telemetry::stats_address() const {
+  return server_ != nullptr ? server_->address() : std::string();
+}
+
+}  // namespace scprt::obs

@@ -54,10 +54,48 @@ void Tracer::Record(const char* name, std::int64_t start_ns,
     ring->next = ring->events.size() % ring->capacity;
     if (ring->next == 0) ring->wrapped = true;
   } else {
+    // The ring clips its oldest span — count it, don't hide it.
+    dropped_->Increment();
     ring->events[ring->next] = event;
     ring->next = (ring->next + 1) % ring->capacity;
     ring->wrapped = true;
   }
+}
+
+std::uint64_t Tracer::dropped_spans() const { return dropped_->Value(); }
+
+std::vector<SpanEvent> Tracer::SnapshotTail(std::size_t max_per_thread,
+                                            std::size_t max_total) {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      // Oldest-to-newest order of a (possibly wrapped) ring.
+      std::vector<SpanEvent> ordered;
+      ordered.reserve(ring->events.size());
+      if (ring->wrapped) {
+        ordered.insert(ordered.end(), ring->events.begin() + ring->next,
+                       ring->events.end());
+        ordered.insert(ordered.end(), ring->events.begin(),
+                       ring->events.begin() + ring->next);
+      } else {
+        ordered.insert(ordered.end(), ring->events.begin(),
+                       ring->events.end());
+      }
+      const std::size_t keep = std::min(max_per_thread, ordered.size());
+      out.insert(out.end(), ordered.end() - keep, ordered.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  if (out.size() > max_total) {
+    out.erase(out.begin(), out.end() - max_total);
+  }
+  return out;
 }
 
 std::vector<SpanEvent> Tracer::Drain() {
@@ -86,8 +124,7 @@ std::vector<SpanEvent> Tracer::Drain() {
   return out;
 }
 
-std::string Tracer::DrainJson() {
-  const std::vector<SpanEvent> events = Drain();
+std::string FormatSpansJson(const std::vector<SpanEvent>& events) {
   std::int64_t base_ns = 0;
   if (!events.empty()) base_ns = events.front().start_ns;
   std::string out = "{\"traceEvents\":[";
@@ -107,5 +144,7 @@ std::string Tracer::DrainJson() {
   out += "]}";
   return out;
 }
+
+std::string Tracer::DrainJson() { return FormatSpansJson(Drain()); }
 
 }  // namespace scprt::obs

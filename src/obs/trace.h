@@ -10,7 +10,10 @@
 // drain): rings store the pointer, not a copy.
 //
 // Rings are bounded: when a thread's ring wraps, its oldest spans are
-// overwritten. A trace is a diagnostic window, not an audit log.
+// overwritten. A trace is a diagnostic window, not an audit log — but
+// the clipping is *visible*: every overwritten span increments the
+// obs.trace.dropped_spans counter, so /statusz (and any scrape) shows
+// how much of the window was lost.
 
 #ifndef SCPRT_OBS_TRACE_H_
 #define SCPRT_OBS_TRACE_H_
@@ -26,6 +29,13 @@
 #include "obs/registry.h"
 
 namespace scprt::obs {
+
+struct SpanEvent;
+
+/// Renders spans as a Chrome about:tracing JSON document. Timestamps are
+/// microseconds, rebased so the earliest span is t=0. Callers sort by
+/// start time first (Drain/SnapshotTail already do).
+std::string FormatSpansJson(const std::vector<SpanEvent>& events);
 
 /// One completed span: a named interval on one thread. Chrome nests
 /// same-thread intervals by containment, so scoped emission is enough
@@ -65,6 +75,18 @@ class Tracer {
   /// Timestamps are microseconds, rebased so the earliest span is t=0.
   std::string DrainJson();
 
+  /// Copies the newest spans *without* clearing the rings (a later
+  /// Drain still sees them): at most `max_per_thread` per ring, at most
+  /// `max_total` overall, sorted by start time. This is what the flight
+  /// recorder folds into its post-mortem bundle on every sampler tick —
+  /// peeking must not eat the --trace-out drain.
+  std::vector<SpanEvent> SnapshotTail(std::size_t max_per_thread,
+                                      std::size_t max_total);
+
+  /// Spans overwritten by ring wrap since process start (all tracer
+  /// instances share the one obs.trace.dropped_spans counter).
+  std::uint64_t dropped_spans() const;
+
  private:
   struct Ring {
     std::mutex mu;
@@ -82,6 +104,10 @@ class Tracer {
   // address is reused (the per-thread ring cache keys on this, not on
   // `this`, so it can never serve a ring owned by a dead tracer).
   const std::uint64_t id_ = NextTracerId();
+  // Shared drop counter (registered in the default registry at
+  // construction so recording never races a lazy init).
+  Counter* const dropped_ =
+      Registry::Default().GetCounter("obs.trace.dropped_spans");
   std::atomic<bool> enabled_{false};
   std::mutex rings_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;  // never freed while enabled

@@ -303,6 +303,7 @@ TEST(Tracer, DrainJsonIsChromeTraceShaped) {
 
 TEST(Tracer, RingDropsOldestWhenFull) {
   obs::Tracer tracer;
+  const std::uint64_t dropped_before = tracer.dropped_spans();
   tracer.Enable(/*capacity_per_thread=*/16);
   for (int i = 0; i < 40; ++i) {
     obs::ScopedSpan span("s", tracer);
@@ -312,6 +313,23 @@ TEST(Tracer, RingDropsOldestWhenFull) {
   for (std::size_t i = 1; i < events.size(); ++i) {
     EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
   }
+  // Clipping is visible: the 24 overwritten spans were counted.
+  EXPECT_EQ(tracer.dropped_spans() - dropped_before, 24u);
+}
+
+TEST(Tracer, SnapshotTailPeeksWithoutConsuming) {
+  obs::Tracer tracer;
+  tracer.Enable(/*capacity_per_thread=*/64);
+  for (int i = 0; i < 10; ++i) {
+    obs::ScopedSpan span("peeked", tracer);
+  }
+  const std::vector<obs::SpanEvent> tail = tracer.SnapshotTail(4, 100);
+  EXPECT_EQ(tail.size(), 4u);  // per-thread cap applies
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_GE(tail[i].start_ns, tail[i - 1].start_ns);
+  }
+  // The peek did not eat the drain.
+  EXPECT_EQ(tracer.Drain().size(), 10u);
 }
 
 // --- ingest facade: queue-depth gauge + JSON schema round-trip ---
@@ -386,6 +404,8 @@ TEST(IngestSnapshotJson, SchemaRoundTripsEveryFieldAndDerivedRate) {
   snap.sync_failures = 1;
   snap.recovery_seconds = 0.25;
   snap.elapsed_seconds = 2.0;
+  snap.uptime_seconds = 3.5;
+  snap.process_start_unix = 1700000000.125;
 
   const auto fields = ParseFlatJson(snap.FormatJson());
   const std::map<std::string, double> expected = {
@@ -399,7 +419,9 @@ TEST(IngestSnapshotJson, SchemaRoundTripsEveryFieldAndDerivedRate) {
       {"commits", 4},           {"commit_bytes", 1024},
       {"commit_ns", 80'000},    {"checkpoint_failures", 1},
       {"sync_failures", 1},     {"recovery_seconds", 0.25},
-      {"elapsed_seconds", 2.0}, {"messages_per_second", 47.5},
+      {"elapsed_seconds", 2.0}, {"uptime_seconds", 3.5},
+      {"process_start_unix", 1700000000.125},
+      {"messages_per_second", 47.5},
       {"tokenize_micros_per_message", 1.0},
       {"checkpoint_millis", 5.0},
       {"commit_micros", 20.0},
